@@ -1,0 +1,81 @@
+// Ablation: the start-side choice of linear fragmentation (Fig. 8: "It
+// illustrates that starting on the left side of the graph and going to the
+// right is preferable to starting at the top and going down ... because
+// the size of the disconnection sets is much smaller that way").
+//
+// We generate elongated graphs (region 3:1, like the paper's ellipses) and
+// sweep the start side and the number of start nodes s.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fragment/metrics.h"
+
+using namespace tcf;
+using namespace tcf::bench;
+
+int main() {
+  constexpr int kTrials = 10;
+  std::printf("== Ablation: linear fragmentation start side (Fig. 8) ==\n");
+  std::printf("workload: elongated general graphs (region 3x1, 150 nodes, "
+              "~420 edges), %d seeds, f=3\n\n", kTrials);
+
+  auto make_graph = [](Rng* rng) {
+    GeneralGraphOptions opts;
+    opts.num_nodes = 150;
+    opts.target_edges = 420;
+    opts.c2 = 4.0;
+    opts.region = Region{0.0, 0.0, 3.0, 1.0};
+    opts.ensure_connected = true;
+    return GenerateGeneralGraph(opts, rng);
+  };
+
+  TablePrinter table({"start side", "DS", "dDS", "#frags", "acyclic"});
+  for (auto [name, side] :
+       std::vector<std::pair<const char*, LinearOptions::Start>>{
+           {"left (sweep along the long axis)", LinearOptions::Start::kLeft},
+           {"right", LinearOptions::Start::kRight},
+           {"top (sweep across the short axis)", LinearOptions::Start::kTop},
+           {"bottom", LinearOptions::Start::kBottom}}) {
+    RowStats row;
+    Rng rng(31);
+    for (int t = 0; t < kTrials; ++t) {
+      Rng child = rng.Fork();
+      Graph g = make_graph(&child);
+      LinearOptions opts;
+      opts.num_fragments = 3;
+      opts.start = side;
+      row.Add(ComputeCharacteristics(
+          LinearFragmentation(g, opts).fragmentation));
+    }
+    table.AddRow({name, TablePrinter::Fmt(row.ds_bar.Mean()),
+                  TablePrinter::Fmt(row.dev_ds.Mean()),
+                  TablePrinter::Fmt(row.fragments.Mean()),
+                  TablePrinter::Fmt(100.0 * row.acyclic / row.trials, 0) +
+                      "%"});
+  }
+  table.Print();
+
+  std::printf("\nnumber of start nodes s (left start):\n");
+  TablePrinter snodes({"s", "DS", "#frags"});
+  for (size_t s : {1, 3, 7, 15, 30}) {
+    RowStats row;
+    Rng rng(31);
+    for (int t = 0; t < kTrials; ++t) {
+      Rng child = rng.Fork();
+      Graph g = make_graph(&child);
+      LinearOptions opts;
+      opts.num_fragments = 3;
+      opts.num_start_nodes = s;
+      row.Add(ComputeCharacteristics(
+          LinearFragmentation(g, opts).fragmentation));
+    }
+    snodes.AddRow({std::to_string(s), TablePrinter::Fmt(row.ds_bar.Mean()),
+                   TablePrinter::Fmt(row.fragments.Mean())});
+  }
+  snodes.Print();
+  std::printf("\nreading: sweeping along the long axis (left/right) cuts "
+              "the graph at its\nnarrow waist and yields smaller "
+              "disconnection sets than sweeping across it\n(top/bottom) — "
+              "Fig. 8's point. The result is acyclic regardless.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Shared workload definitions for the benchmark harness. Every table and
+// figure reproduction uses these generators so the workloads match the
+// paper's Sec. 4 parameters exactly and deterministically.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fragment/bond_energy.h"
+#include "fragment/center_based.h"
+#include "fragment/kernighan_lin.h"
+#include "fragment/linear.h"
+#include "fragment/metrics.h"
+#include "fragment/random_partition.h"
+#include "graph/generator.h"
+#include "util/stats.h"
+
+namespace tcf::bench {
+
+/// Table 1 workload: transportation graphs of 4 clusters x 25 nodes with
+/// on average 429 edges; "the average number of edges connecting fragments
+/// was 2.25" -> 9 undirected inter-cluster connections over 4 links.
+inline TransportationGraphOptions Table1Options() {
+  TransportationGraphOptions opts;
+  opts.num_clusters = 4;
+  opts.nodes_per_cluster = 25;
+  // 9 undirected cross connections = 18 tuples; the rest intra.
+  opts.links = {{0, 1, 2}, {1, 2, 2}, {2, 3, 2}, {0, 3, 3}};
+  opts.target_edges_per_cluster = (429.0 - 18.0) / 4.0;
+  return opts;
+}
+
+/// Table 2 workload: same structure with 150 nodes per cluster and 3167
+/// edges on average.
+inline TransportationGraphOptions Table2Options() {
+  TransportationGraphOptions opts = Table1Options();
+  opts.nodes_per_cluster = 150;
+  opts.target_edges_per_cluster = (3167.0 - 18.0) / 4.0;
+  return opts;
+}
+
+/// Table 3 workload: general graphs of 100 nodes, 279.5 edges on average.
+inline GeneralGraphOptions Table3Options() {
+  GeneralGraphOptions opts;
+  opts.num_nodes = 100;
+  opts.target_edges = 279.5;
+  return opts;
+}
+
+/// The fragmentation algorithms as table rows.
+enum class Algo { kCenter, kDistributedCenters, kBondEnergy, kLinear,
+                  kRandom, kKernighanLin };
+
+inline const char* AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kCenter: return "center-based";
+    case Algo::kDistributedCenters: return "distributed centers";
+    case Algo::kBondEnergy: return "bond-energy";
+    case Algo::kLinear: return "linear";
+    case Algo::kRandom: return "random (baseline)";
+    case Algo::kKernighanLin: return "kernighan-lin (modern)";
+  }
+  return "?";
+}
+
+inline Fragmentation RunAlgo(const Graph& g, Algo algo, size_t fragments,
+                             uint64_t seed) {
+  switch (algo) {
+    case Algo::kCenter: {
+      CenterBasedOptions opts;
+      opts.num_fragments = fragments;
+      return CenterBasedFragmentation(g, opts);
+    }
+    case Algo::kDistributedCenters: {
+      CenterBasedOptions opts;
+      opts.num_fragments = fragments;
+      opts.distributed_centers = true;
+      return CenterBasedFragmentation(g, opts);
+    }
+    case Algo::kBondEnergy: {
+      BondEnergyOptions opts;
+      opts.num_fragments = fragments;
+      return BondEnergyFragmentation(g, opts);
+    }
+    case Algo::kLinear: {
+      LinearOptions opts;
+      opts.num_fragments = fragments;
+      return LinearFragmentation(g, opts).fragmentation;
+    }
+    case Algo::kRandom: {
+      Rng rng(seed * 7919 + 31);
+      return RandomFragmentation(g, fragments, &rng);
+    }
+    case Algo::kKernighanLin: {
+      KernighanLinOptions opts;
+      opts.num_fragments = fragments;
+      opts.seed = seed + 1;
+      return KernighanLinFragmentation(g, opts);
+    }
+  }
+  CenterBasedOptions opts;
+  return CenterBasedFragmentation(g, opts);
+}
+
+/// Aggregated characteristics over many seeds, one table row.
+struct RowStats {
+  Accumulator fragments, f_bar, ds_bar, dev_f, dev_ds;
+  int acyclic = 0;
+  int trials = 0;
+
+  void Add(const FragmentationCharacteristics& c) {
+    fragments.Add(static_cast<double>(c.num_fragments));
+    f_bar.Add(c.avg_fragment_edges);
+    ds_bar.Add(c.avg_ds_nodes);
+    dev_f.Add(c.dev_fragment_edges);
+    dev_ds.Add(c.dev_ds_nodes);
+    if (c.loosely_connected) ++acyclic;
+    ++trials;
+  }
+};
+
+/// Prints one characteristics table in the paper's layout, plus the
+/// acyclicity rate and realized fragment counts.
+inline void PrintCharacteristicsTable(
+    const std::string& title,
+    const std::vector<std::pair<std::string, RowStats>>& rows) {
+  std::printf("%s\n", title.c_str());
+  TablePrinter table({"Algorithm", "F", "DS", "dF", "dDS", "acyclic",
+                      "#frags"});
+  for (const auto& [name, stats] : rows) {
+    table.AddRow({name, TablePrinter::Fmt(stats.f_bar.Mean()),
+                  TablePrinter::Fmt(stats.ds_bar.Mean()),
+                  TablePrinter::Fmt(stats.dev_f.Mean()),
+                  TablePrinter::Fmt(stats.dev_ds.Mean()),
+                  TablePrinter::Fmt(100.0 * stats.acyclic / stats.trials, 0) +
+                      "%",
+                  TablePrinter::Fmt(stats.fragments.Mean())});
+  }
+  table.Print();
+}
+
+}  // namespace tcf::bench

@@ -1,0 +1,77 @@
+// Micro-benchmarks (google-benchmark) of the three fragmentation
+// algorithms' runtime versus graph size — the pre-processing cost a
+// database administrator pays once per fragmentation design.
+#include <benchmark/benchmark.h>
+
+#include "fragment/bond_energy.h"
+#include "fragment/center_based.h"
+#include "fragment/linear.h"
+#include "graph/generator.h"
+#include "util/rng.h"
+
+namespace tcf {
+namespace {
+
+TransportationGraph MakeGraph(size_t nodes_per_cluster) {
+  TransportationGraphOptions opts;
+  opts.num_clusters = 4;
+  opts.nodes_per_cluster = nodes_per_cluster;
+  opts.target_edges_per_cluster = static_cast<double>(nodes_per_cluster) * 4;
+  Rng rng(13);
+  return GenerateTransportationGraph(opts, &rng);
+}
+
+void BM_CenterBased(benchmark::State& state) {
+  auto tg = MakeGraph(static_cast<size_t>(state.range(0)));
+  CenterBasedOptions opts;
+  opts.num_fragments = 4;
+  opts.distributed_centers = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CenterBasedFragmentation(tg.graph, opts));
+  }
+}
+BENCHMARK(BM_CenterBased)->Arg(25)->Arg(50)->Arg(100)->Arg(150);
+
+void BM_BondEnergy(benchmark::State& state) {
+  auto tg = MakeGraph(static_cast<size_t>(state.range(0)));
+  BondEnergyOptions opts;
+  opts.num_fragments = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BondEnergyFragmentation(tg.graph, opts));
+  }
+}
+BENCHMARK(BM_BondEnergy)->Arg(25)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BondEnergy_OrderingOnly(benchmark::State& state) {
+  auto tg = MakeGraph(static_cast<size_t>(state.range(0)));
+  BondEnergyOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeBondEnergyOrdering(tg.graph, opts));
+  }
+}
+BENCHMARK(BM_BondEnergy_OrderingOnly)->Arg(25)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Linear(benchmark::State& state) {
+  auto tg = MakeGraph(static_cast<size_t>(state.range(0)));
+  LinearOptions opts;
+  opts.num_fragments = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LinearFragmentation(tg.graph, opts));
+  }
+}
+BENCHMARK(BM_Linear)->Arg(25)->Arg(50)->Arg(100)->Arg(150);
+
+void BM_StatusScores(benchmark::State& state) {
+  auto tg = MakeGraph(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StatusScores(tg.graph));
+  }
+}
+BENCHMARK(BM_StatusScores)->Arg(25)->Arg(50)->Arg(100)->Arg(150);
+
+}  // namespace
+}  // namespace tcf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Micro-benchmarks (google-benchmark) of the query path: DSA shortest-path
+// queries per fragmentation algorithm and engine, PHE, and the
+// preprocessing (complementary-information) cost.
+#include <benchmark/benchmark.h>
+
+#include "dsa/phe.h"
+#include "dsa/query_api.h"
+#include "graph/algorithms.h"
+#include "fragment/bond_energy.h"
+#include "fragment/center_based.h"
+#include "fragment/linear.h"
+#include "graph/generator.h"
+#include "util/rng.h"
+
+namespace tcf {
+namespace {
+
+TransportationGraph MakeGraph() {
+  TransportationGraphOptions opts;
+  opts.num_clusters = 4;
+  opts.nodes_per_cluster = 50;
+  opts.target_edges_per_cluster = 200;
+  Rng rng(13);
+  return GenerateTransportationGraph(opts, &rng);
+}
+
+void BM_DsaQuery_Dijkstra(benchmark::State& state) {
+  auto tg = MakeGraph();
+  CenterBasedOptions copts;
+  copts.num_fragments = 4;
+  copts.distributed_centers = true;
+  Fragmentation frag = CenterBasedFragmentation(tg.graph, copts);
+  DsaDatabase db(&frag);
+  Rng rng(1);
+  for (auto _ : state) {
+    const NodeId s = static_cast<NodeId>(rng.NextBounded(tg.graph.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.NextBounded(tg.graph.NumNodes()));
+    benchmark::DoNotOptimize(db.ShortestPath(s, t));
+  }
+}
+BENCHMARK(BM_DsaQuery_Dijkstra);
+
+void BM_DsaQuery_SemiNaive(benchmark::State& state) {
+  auto tg = MakeGraph();
+  CenterBasedOptions copts;
+  copts.num_fragments = 4;
+  copts.distributed_centers = true;
+  Fragmentation frag = CenterBasedFragmentation(tg.graph, copts);
+  DsaOptions dopts;
+  dopts.engine = LocalEngine::kSemiNaive;
+  DsaDatabase db(&frag, dopts);
+  Rng rng(1);
+  for (auto _ : state) {
+    const NodeId s = static_cast<NodeId>(rng.NextBounded(tg.graph.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.NextBounded(tg.graph.NumNodes()));
+    benchmark::DoNotOptimize(db.ShortestPath(s, t));
+  }
+}
+BENCHMARK(BM_DsaQuery_SemiNaive)->Unit(benchmark::kMillisecond);
+
+void BM_PheQuery(benchmark::State& state) {
+  auto tg = MakeGraph();
+  BondEnergyOptions bopts;
+  bopts.num_fragments = 4;
+  Fragmentation frag = BondEnergyFragmentation(tg.graph, bopts);
+  PheDatabase phe(&frag);
+  Rng rng(1);
+  for (auto _ : state) {
+    const NodeId s = static_cast<NodeId>(rng.NextBounded(tg.graph.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.NextBounded(tg.graph.NumNodes()));
+    benchmark::DoNotOptimize(phe.ShortestPath(s, t));
+  }
+}
+BENCHMARK(BM_PheQuery);
+
+void BM_PrecomputeComplementary(benchmark::State& state) {
+  auto tg = MakeGraph();
+  LinearOptions lopts;
+  lopts.num_fragments = static_cast<size_t>(state.range(0));
+  Fragmentation frag = LinearFragmentation(tg.graph, lopts).fragmentation;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrecomputeComplementary(frag));
+  }
+}
+BENCHMARK(BM_PrecomputeComplementary)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WholeGraphDijkstraBaseline(benchmark::State& state) {
+  auto tg = MakeGraph();
+  Rng rng(1);
+  for (auto _ : state) {
+    const NodeId s = static_cast<NodeId>(rng.NextBounded(tg.graph.NumNodes()));
+    benchmark::DoNotOptimize(Dijkstra(tg.graph, s));
+  }
+}
+BENCHMARK(BM_WholeGraphDijkstraBaseline);
+
+}  // namespace
+}  // namespace tcf
+
+BENCHMARK_MAIN();

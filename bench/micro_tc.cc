@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark) of the transitive-closure strategies
+// of src/relational/ on the structures whose shapes drive the paper's cost
+// model: chains (diameter stress), cycles, and transportation fragments.
+#include <benchmark/benchmark.h>
+
+#include "graph/builder.h"
+#include "graph/generator.h"
+#include "relational/transitive_closure.h"
+#include "relational/warshall.h"
+#include "util/rng.h"
+
+namespace tcf {
+namespace {
+
+Relation ChainRelation(size_t n) {
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1, 1.0);
+  return Relation::FromGraph(b.Build());
+}
+
+Relation ClusterRelation(size_t nodes) {
+  GeneralGraphOptions opts;
+  opts.num_nodes = nodes;
+  opts.target_edges = static_cast<double>(nodes) * 4;
+  opts.ensure_connected = true;
+  Rng rng(5);
+  return Relation::FromGraph(GenerateGeneralGraph(opts, &rng));
+}
+
+TcOptions WithAlgorithm(TcAlgorithm algo) {
+  TcOptions opts;
+  opts.algorithm = algo;
+  return opts;
+}
+
+void BM_SemiNaive_Chain(benchmark::State& state) {
+  Relation base = ChainRelation(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TransitiveClosure(base, WithAlgorithm(TcAlgorithm::kSemiNaive)));
+  }
+}
+BENCHMARK(BM_SemiNaive_Chain)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Naive_Chain(benchmark::State& state) {
+  Relation base = ChainRelation(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TransitiveClosure(base, WithAlgorithm(TcAlgorithm::kNaive)));
+  }
+}
+BENCHMARK(BM_Naive_Chain)->Arg(32)->Arg(64);
+
+void BM_Smart_Chain(benchmark::State& state) {
+  Relation base = ChainRelation(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TransitiveClosure(base, WithAlgorithm(TcAlgorithm::kSmart)));
+  }
+}
+BENCHMARK(BM_Smart_Chain)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SemiNaive_Cluster(benchmark::State& state) {
+  Relation base = ClusterRelation(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TransitiveClosure(base, WithAlgorithm(TcAlgorithm::kSemiNaive)));
+  }
+}
+BENCHMARK(BM_SemiNaive_Cluster)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_SemiNaive_Cluster_SourceRestricted(benchmark::State& state) {
+  Relation base = ClusterRelation(static_cast<size_t>(state.range(0)));
+  TcOptions opts;
+  opts.sources = NodeSet{0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TransitiveClosure(base, opts));
+  }
+}
+BENCHMARK(BM_SemiNaive_Cluster_SourceRestricted)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_Warshall_Cluster(benchmark::State& state) {
+  GeneralGraphOptions opts;
+  opts.num_nodes = static_cast<size_t>(state.range(0));
+  opts.target_edges = static_cast<double>(state.range(0)) * 4;
+  opts.ensure_connected = true;
+  Rng rng(5);
+  Graph g = GenerateGeneralGraph(opts, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WarshallClosure(g));
+  }
+}
+BENCHMARK(BM_Warshall_Cluster)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_MinPlus_vs_Reachability(benchmark::State& state) {
+  Relation base = ClusterRelation(60);
+  TcOptions opts;
+  opts.semiring = state.range(0) == 0 ? TcSemiring::kReachability
+                                      : TcSemiring::kMinPlus;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TransitiveClosure(base, opts));
+  }
+}
+BENCHMARK(BM_MinPlus_vs_Reachability)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace tcf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Reproduces the motivation for Parallel Hierarchical Evaluation
+// (Sec. 5 / footnote 4): "If the fragmentation graph becomes very complex
+// and contains many routes from one fragment to another, a technique
+// called Parallel Hierarchical Evaluation can be used to avoid problems."
+//
+// We drive the fragmentation-graph complexity up (random fragmentations
+// with growing fragment counts on a well-connected graph) and compare the
+// chain-enumerating DSA against PHE: chains considered, subqueries run,
+// and query latency. Both remain exact (tests assert it); only the cost
+// diverges.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dsa/phe.h"
+#include "dsa/query_api.h"
+#include "util/timer.h"
+
+using namespace tcf;
+using namespace tcf::bench;
+
+int main() {
+  GeneralGraphOptions gopts;
+  gopts.num_nodes = 120;
+  gopts.target_edges = 500;  // well connected -> tangled fragment graphs
+  gopts.ensure_connected = true;
+  Rng rng(3);
+  Graph g = GenerateGeneralGraph(gopts, &rng);
+
+  std::printf("== PHE vs chain enumeration on complex fragmentation graphs "
+              "(Sec. 5 / [12]) ==\n");
+  std::printf("workload: 120-node general graph (%zu edges), random "
+              "node-partition fragmentations,\n20 random queries per "
+              "configuration\n\n",
+              g.NumEdges());
+
+  TablePrinter table({"fragments", "frag-graph cycles", "chains/query",
+                      "DSA sites/query", "DSA ms", "PHE sites/query",
+                      "PHE ms"});
+  for (size_t f : {3, 5, 7, 9}) {
+    Rng frng(100 + f);
+    Fragmentation frag = RandomFragmentation(g, f, &frng);
+    DsaDatabase dsa(&frag);
+    PheDatabase phe(&frag);
+
+    Accumulator chains, dsa_sites, dsa_ms, phe_sites, phe_ms;
+    Rng qrng(7);
+    for (int q = 0; q < 20; ++q) {
+      const NodeId s = static_cast<NodeId>(qrng.NextBounded(g.NumNodes()));
+      const NodeId t = static_cast<NodeId>(qrng.NextBounded(g.NumNodes()));
+      {
+        ExecutionReport report;
+        WallTimer timer;
+        QueryAnswer a = dsa.ShortestPath(s, t, &report);
+        dsa_ms.Add(timer.ElapsedMillis());
+        chains.Add(static_cast<double>(a.chains_considered));
+        dsa_sites.Add(static_cast<double>(report.sites.size()));
+      }
+      {
+        ExecutionReport report;
+        WallTimer timer;
+        phe.ShortestPath(s, t, &report);
+        phe_ms.Add(timer.ElapsedMillis());
+        phe_sites.Add(static_cast<double>(report.sites.size()));
+      }
+    }
+    table.AddRow({std::to_string(frag.NumFragments()),
+                  std::to_string(frag.FragmentationGraphCycles()),
+                  TablePrinter::Fmt(chains.Mean()),
+                  TablePrinter::Fmt(dsa_sites.Mean()),
+                  TablePrinter::Fmt(dsa_ms.Mean(), 3),
+                  TablePrinter::Fmt(phe_sites.Mean()),
+                  TablePrinter::Fmt(phe_ms.Mean(), 3)});
+  }
+  table.Print();
+  std::printf("\nreading: chain enumeration grows combinatorially with the "
+              "fragmentation\ngraph's cycle count, while PHE stays at <= 3 "
+              "subqueries by routing through\nthe high-speed network — "
+              "both return identical (exact) answers.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Reproduces the headline performance claim of Sec. 2.1: "Because of these
+// characteristics, the disconnection set approach is well suited for
+// parallel evaluation of the transitive closure. ... For good
+// fragmentations, it gives a linear speed-up."
+//
+// The speed-up is parallel vs sequential execution of the *same* fragmented
+// plan: phase 1 runs one independent subquery per fragment on the chain
+// (no communication), so with one processor per fragment the elapsed time
+// is the slowest site instead of the sum of all sites.
+//
+// Workload: a row of 8 clusters (the European-railway shape), fragmented by
+// the linear algorithm into f chunks; every query goes from the west end to
+// the east end so all f fragments participate. We report, per f:
+//   sum of site costs  (sequential execution),
+//   max of site costs  (parallel execution, 1 processor/fragment),
+//   speed-up and efficiency,
+// plus the whole-graph unfragmented closure cost for context (the
+// search-space reduction the paper also banks on).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dsa/query_api.h"
+#include "fragment/center_based.h"
+#include "relational/transitive_closure.h"
+#include "util/timer.h"
+
+using namespace tcf;
+using namespace tcf::bench;
+
+int main() {
+  TransportationGraphOptions gopts;
+  gopts.num_clusters = 8;
+  gopts.nodes_per_cluster = 70;
+  gopts.target_edges_per_cluster = 300;
+  gopts.links = {{0, 1, 2}, {1, 2, 2}, {2, 3, 2}, {3, 4, 2},
+                 {4, 5, 2}, {5, 6, 2}, {6, 7, 2}};  // a row, not a ring
+  Rng rng(7);
+  auto tg = GenerateTransportationGraph(gopts, &rng);
+  const Graph& g = tg.graph;
+
+  std::printf("== Speed-up of the disconnection set approach (Sec. 2.1: "
+              "\"For good fragmentations, it gives a linear speed-up\") ==\n");
+  std::printf("workload: row of 8 clusters x 70 nodes, %zu edges, 16 "
+              "west-to-east shortest-path queries,\nsemi-naive relational "
+              "engine, distributed-centers fragmentation (a \"good\" one: "
+              "small DS, balanced)\n\n",
+              g.NumEdges());
+
+  // End-to-end queries: cluster 0 -> cluster 7.
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  Rng qrng(99);
+  for (int i = 0; i < 16; ++i) {
+    queries.emplace_back(
+        static_cast<NodeId>(qrng.NextBounded(70)),
+        static_cast<NodeId>(7 * 70 + qrng.NextBounded(70)));
+  }
+
+  // Context: the unfragmented single-source closure over the whole
+  // relation (what one site pays without the disconnection set approach).
+  {
+    Relation whole = Relation::FromGraph(g);
+    WallTimer timer;
+    size_t join_tuples = 0;
+    for (auto [s, t] : queries) {
+      TcOptions opts;
+      opts.sources = NodeSet{s};
+      TcStats stats;
+      TransitiveClosure(whole, opts, &stats);
+      join_tuples += stats.join_tuples;
+    }
+    std::printf("unfragmented baseline: %.3f s, %zu join tuples for the "
+                "batch\n\n",
+                timer.ElapsedSeconds(), join_tuples);
+  }
+
+  TablePrinter table({"f", "seq = sum sites (s)", "par = max site (s)",
+                      "speed-up", "efficiency", "comm tuples"});
+  for (size_t f : {1, 2, 4, 8}) {
+    CenterBasedOptions copts;
+    copts.num_fragments = f;
+    copts.distributed_centers = true;
+    Fragmentation frag = CenterBasedFragmentation(g, copts);
+    DsaOptions dopts;
+    dopts.engine = LocalEngine::kSemiNaive;
+    dopts.num_threads = 1;  // timings below are per-site CPU, not wall
+    DsaDatabase db(&frag, dopts);
+
+    double seq = 0.0, par = 0.0;
+    size_t comm = 0;
+    for (auto [s, t] : queries) {
+      ExecutionReport report;
+      db.ShortestPath(s, t, &report);
+      double query_seq = 0.0, query_par = 0.0;
+      for (const SiteReport& site : report.sites) {
+        query_seq += site.seconds;
+        query_par = std::max(query_par, site.seconds);
+      }
+      seq += query_seq + report.assembly_seconds;
+      par += query_par + report.assembly_seconds;
+      comm += report.communication_tuples;
+    }
+    const double speedup = seq / par;
+    table.AddRow({std::to_string(frag.NumFragments()),
+                  TablePrinter::Fmt(seq, 3), TablePrinter::Fmt(par, 3),
+                  TablePrinter::Fmt(speedup, 2),
+                  TablePrinter::Fmt(speedup /
+                                        static_cast<double>(frag.NumFragments()),
+                                    2),
+                  std::to_string(comm)});
+  }
+  table.Print();
+  std::printf(
+      "\nreading: with an acyclic, reasonably balanced fragmentation the\n"
+      "speed-up grows close to linearly in f — phase 1 needs no\n"
+      "communication, and the final joins touch only the small\n"
+      "disconnection-set relations (comm tuples column).\n");
+  return 0;
+}

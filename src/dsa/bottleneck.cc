@@ -1,0 +1,122 @@
+#include "dsa/bottleneck.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "dsa/local_query.h"
+#include "graph/algorithms.h"
+
+namespace tcf {
+
+ComplementaryInfo PrecomputeCapacityComplementary(const Fragmentation& frag) {
+  const Graph& g = frag.graph();
+  ComplementaryInfo info;
+  info.shortcuts.resize(frag.NumFragments());
+
+  std::vector<NodeId> border;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (frag.IsBorderNode(v)) border.push_back(v);
+  }
+  std::unordered_map<NodeId, WidestPaths> search_from;
+  search_from.reserve(border.size());
+  for (NodeId v : border) {
+    search_from.emplace(v, WidestPathsFrom(g, v));
+    ++info.searches;
+  }
+  for (FragmentId f = 0; f < frag.NumFragments(); ++f) {
+    const std::vector<NodeId>& nodes = frag.BorderNodes(f);
+    Relation& rel = info.shortcuts[f];
+    for (NodeId x : nodes) {
+      const WidestPaths& wp = search_from.at(x);
+      for (NodeId y : nodes) {
+        if (x == y || wp.capacity[y] <= 0.0) continue;
+        rel.Add(x, y, wp.capacity[y]);
+      }
+    }
+    rel.SortCanonical();
+    info.total_tuples += rel.size();
+  }
+  return info;
+}
+
+BottleneckDsa::BottleneckDsa(const Fragmentation* frag, size_t max_chains)
+    : frag_(frag), max_chains_(max_chains) {
+  TCF_CHECK(frag != nullptr);
+  complementary_ = PrecomputeCapacityComplementary(*frag_);
+}
+
+Relation BottleneckDsa::LocalWidest(FragmentId fragment,
+                                    const NodeSet& sources,
+                                    const NodeSet& targets) const {
+  Graph augmented =
+      BuildAugmentedFragment(*frag_, &complementary_, fragment);
+  Relation out;
+  for (NodeId s : sources) {
+    WidestPaths wp = WidestPathsFrom(augmented, s);
+    for (NodeId t : targets) {
+      if (t == s) {
+        out.Add(s, t, kInfinity);  // passing through costs no capacity
+      } else if (wp.capacity[t] > 0.0) {
+        out.Add(s, t, wp.capacity[t]);
+      }
+    }
+  }
+  out.AggregateMax();
+  return out;
+}
+
+BottleneckAnswer BottleneckDsa::WidestPath(NodeId from, NodeId to,
+                                           ExecutionReport* report) const {
+  TCF_CHECK(from < frag_->graph().NumNodes());
+  TCF_CHECK(to < frag_->graph().NumNodes());
+  BottleneckAnswer answer;
+  if (from == to) {
+    answer.connected = true;
+    answer.capacity = kInfinity;
+    return answer;
+  }
+  const auto& from_frags = frag_->FragmentsOfNode(from);
+  const auto& to_frags = frag_->FragmentsOfNode(to);
+  std::vector<FragmentChain> chains;
+  for (FragmentId fa : from_frags) {
+    for (FragmentId fb : to_frags) {
+      for (FragmentChain& c : FindChains(*frag_, fa, fb, max_chains_)) {
+        if (std::find(chains.begin(), chains.end(), c) == chains.end()) {
+          chains.push_back(std::move(c));
+        }
+      }
+    }
+  }
+  answer.chains_considered = chains.size();
+
+  auto ds_nodes = [&](FragmentId a, FragmentId b) {
+    const DisconnectionSet* ds = frag_->FindDisconnectionSet(a, b);
+    TCF_CHECK(ds != nullptr);
+    return NodeSet(ds->nodes.begin(), ds->nodes.end());
+  };
+
+  for (const FragmentChain& chain : chains) {
+    Relation acc;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      const NodeSet sources =
+          (i == 0) ? NodeSet{from} : ds_nodes(chain[i - 1], chain[i]);
+      const NodeSet targets = (i + 1 == chain.size())
+                                  ? NodeSet{to}
+                                  : ds_nodes(chain[i], chain[i + 1]);
+      Relation local = LocalWidest(chain[i], sources, targets);
+      if (report != nullptr) {
+        SiteReport site;
+        site.fragment = chain[i];
+        site.result_tuples = local.size();
+        report->sites.push_back(site);
+        report->communication_tuples += local.size();
+      }
+      acc = (i == 0) ? std::move(local) : JoinMaxMin(acc, local);
+    }
+    answer.capacity = std::max(answer.capacity, acc.MaxCost(from, to));
+  }
+  answer.connected = answer.capacity > 0.0;
+  return answer;
+}
+
+}  // namespace tcf

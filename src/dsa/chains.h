@@ -1,0 +1,24 @@
+// Chain finding in the fragmentation graph (Sec. 2.1): "for any two nodes
+// in G there is only one chain of fragments G_i such that the first one
+// includes the first node [...]" — when the fragmentation is loosely
+// connected. "If the fragmentation is not loosely connected, it is required
+// to consider all possible chains of fragments independently."
+#pragma once
+
+#include <vector>
+
+#include "fragment/fragmentation.h"
+
+namespace tcf {
+
+using FragmentChain = std::vector<FragmentId>;
+
+/// All simple paths from fragment `from` to fragment `to` in the
+/// fragmentation graph, shortest first, capped at `max_chains` (the paper's
+/// Parallel Hierarchical Evaluation exists because this can blow up).
+/// `from == to` yields the single trivial chain {from}.
+std::vector<FragmentChain> FindChains(const Fragmentation& frag,
+                                      FragmentId from, FragmentId to,
+                                      size_t max_chains = 64);
+
+}  // namespace tcf

@@ -1,0 +1,46 @@
+#include "dsa/complementary.h"
+
+#include <unordered_map>
+
+#include "graph/algorithms.h"
+
+namespace tcf {
+
+ComplementaryInfo PrecomputeComplementary(const Fragmentation& frag) {
+  const Graph& g = frag.graph();
+  ComplementaryInfo info;
+  info.shortcuts.resize(frag.NumFragments());
+
+  // Distinct border nodes across all fragments.
+  std::vector<NodeId> border;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (frag.IsBorderNode(v)) border.push_back(v);
+  }
+
+  // One global single-source search per border node.
+  std::unordered_map<NodeId, ShortestPaths> search_from;
+  search_from.reserve(border.size());
+  for (NodeId v : border) {
+    search_from.emplace(v, Dijkstra(g, v));
+    ++info.searches;
+  }
+
+  for (FragmentId f = 0; f < frag.NumFragments(); ++f) {
+    const std::vector<NodeId>& nodes = frag.BorderNodes(f);
+    Relation& rel = info.shortcuts[f];
+    for (NodeId x : nodes) {
+      const ShortestPaths& sp = search_from.at(x);
+      for (NodeId y : nodes) {
+        if (x == y) continue;
+        if (sp.distance[y] == kInfinity) continue;
+        rel.Add(x, y, sp.distance[y]);
+        info.witness.emplace(PairKey(x, y), sp.PathTo(y));
+      }
+    }
+    rel.SortCanonical();
+    info.total_tuples += rel.size();
+  }
+  return info;
+}
+
+}  // namespace tcf

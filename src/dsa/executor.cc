@@ -1,0 +1,71 @@
+#include "dsa/executor.h"
+
+#include <future>
+
+#include "util/timer.h"
+
+namespace tcf {
+
+double ExecutionReport::SlowestSiteSeconds() const {
+  double worst = 0.0;
+  for (const SiteReport& s : sites) worst = std::max(worst, s.seconds);
+  return worst;
+}
+
+double ExecutionReport::TotalSiteSeconds() const {
+  double total = 0.0;
+  for (const SiteReport& s : sites) total += s.seconds;
+  return total;
+}
+
+std::vector<LocalQueryResult> RunSites(
+    const Fragmentation& frag, const ComplementaryInfo* complementary,
+    const std::vector<LocalQuerySpec>& specs, LocalEngine engine,
+    ThreadPool* pool, ExecutionReport* report) {
+  std::vector<LocalQueryResult> results(specs.size());
+  std::vector<double> seconds(specs.size(), 0.0);
+
+  WallTimer phase_timer;
+  auto run_one = [&](size_t i) {
+    WallTimer site_timer;
+    results[i] = RunLocalQuery(frag, complementary, specs[i], engine);
+    seconds[i] = site_timer.ElapsedSeconds();
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(specs.size(), run_one);
+  } else {
+    for (size_t i = 0; i < specs.size(); ++i) run_one(i);
+  }
+  const double wall = phase_timer.ElapsedSeconds();
+
+  if (report != nullptr) {
+    report->phase1_wall_seconds += wall;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      SiteReport site;
+      site.fragment = specs[i].fragment;
+      site.stats = results[i].stats;
+      site.seconds = seconds[i];
+      site.result_tuples = results[i].paths.size();
+      report->phase1_cpu_seconds += site.seconds;
+      report->communication_tuples += site.result_tuples;
+      report->sites.push_back(std::move(site));
+    }
+  }
+  return results;
+}
+
+Relation AssembleChain(const std::vector<const Relation*>& chain_results,
+                       ExecutionReport* report) {
+  TCF_CHECK(!chain_results.empty());
+  WallTimer timer;
+  Relation acc = *chain_results.front();
+  for (size_t i = 1; i < chain_results.size(); ++i) {
+    size_t join_tuples = 0;
+    acc = JoinMinPlus(acc, *chain_results[i], &join_tuples);
+    if (report != nullptr) report->assembly_join_tuples += join_tuples;
+  }
+  if (report != nullptr) report->assembly_seconds += timer.ElapsedSeconds();
+  return acc;
+}
+
+}  // namespace tcf

@@ -1,0 +1,54 @@
+// Phase orchestration of the disconnection set approach: run the per-site
+// subqueries in parallel ("neither communication nor synchronization is
+// required during the first phase"), then assemble the answer with "a
+// sequence of binary joins between a number of very small relations"
+// (Sec. 2.1), accounting for the communication the final phase causes.
+#pragma once
+
+#include <vector>
+
+#include "dsa/local_query.h"
+#include "util/thread_pool.h"
+
+namespace tcf {
+
+/// Per-site execution record.
+struct SiteReport {
+  FragmentId fragment = 0;
+  TcStats stats;
+  double seconds = 0.0;       // site compute time
+  size_t result_tuples = 0;   // tuples shipped to the coordinator
+};
+
+/// Whole-query execution record — the quantities behind the paper's
+/// performance claims (speed-up, workload balance, keyhole selectivity).
+struct ExecutionReport {
+  std::vector<SiteReport> sites;
+
+  double phase1_wall_seconds = 0.0;  // parallel elapsed time
+  double phase1_cpu_seconds = 0.0;   // sum of site seconds (1-processor cost)
+  double assembly_seconds = 0.0;
+  size_t assembly_join_tuples = 0;   // pre-aggregation join cardinality
+  size_t communication_tuples = 0;   // phase-2 input tuples moved
+
+  /// Max site seconds: the straggler that bounds the parallel finish time
+  /// (Sec. 2.2's workload-balance issue).
+  double SlowestSiteSeconds() const;
+  double TotalSiteSeconds() const;
+};
+
+/// Runs all `specs` in parallel on `pool` (or sequentially when pool is
+/// null) and appends one SiteReport each. Results are returned in spec
+/// order.
+std::vector<LocalQueryResult> RunSites(const Fragmentation& frag,
+                                       const ComplementaryInfo* complementary,
+                                       const std::vector<LocalQuerySpec>& specs,
+                                       LocalEngine engine, ThreadPool* pool,
+                                       ExecutionReport* report);
+
+/// Left-fold min-plus join over a chain's local results; returns the final
+/// small relation. Join statistics are added to `report`.
+Relation AssembleChain(const std::vector<const Relation*>& chain_results,
+                       ExecutionReport* report);
+
+}  // namespace tcf

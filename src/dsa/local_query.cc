@@ -1,0 +1,123 @@
+#include "dsa/local_query.h"
+
+#include <unordered_map>
+
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+
+namespace tcf {
+
+namespace {
+
+/// Fragment base relation plus the fragment's shortcut relation.
+Relation AugmentedRelation(const Fragmentation& frag,
+                           const ComplementaryInfo* complementary,
+                           FragmentId f) {
+  Relation base = Relation::FromEdgeSubset(frag.graph(),
+                                           frag.FragmentEdges(f));
+  if (complementary != nullptr) {
+    base.Append(complementary->ForFragment(f));
+    base.AggregateMin();
+  }
+  return base;
+}
+
+}  // namespace
+
+Graph BuildAugmentedFragment(const Fragmentation& frag,
+                             const ComplementaryInfo* complementary,
+                             FragmentId fragment,
+                             size_t* num_real_edges_out) {
+  const Graph& g = frag.graph();
+  GraphBuilder builder;
+  builder.EnsureNodes(g.NumNodes());
+  for (EdgeId e : frag.FragmentEdges(fragment)) {
+    const Edge& edge = g.edge(e);
+    builder.AddEdge(edge.src, edge.dst, edge.weight);
+  }
+  if (num_real_edges_out != nullptr) {
+    *num_real_edges_out = frag.FragmentEdges(fragment).size();
+  }
+  if (complementary != nullptr) {
+    for (const PathTuple& t : complementary->ForFragment(fragment).tuples()) {
+      builder.AddEdge(t.src, t.dst, t.cost);
+    }
+  }
+  return builder.Build();
+}
+
+namespace {
+
+LocalQueryResult RunRelational(const Fragmentation& frag,
+                               const ComplementaryInfo* complementary,
+                               const LocalQuerySpec& spec,
+                               TcAlgorithm algorithm) {
+  Relation base = AugmentedRelation(frag, complementary, spec.fragment);
+  TcOptions options;
+  options.algorithm = algorithm;
+  options.semiring = TcSemiring::kMinPlus;
+  options.sources = spec.sources;
+  options.targets = spec.targets;
+  LocalQueryResult result;
+  result.paths = TransitiveClosure(base, options, &result.stats);
+  return result;
+}
+
+LocalQueryResult RunDijkstra(const Fragmentation& frag,
+                             const ComplementaryInfo* complementary,
+                             const LocalQuerySpec& spec) {
+  Graph augmented = BuildAugmentedFragment(frag, complementary,
+                                           spec.fragment);
+  LocalQueryResult result;
+  for (NodeId s : spec.sources) {
+    ShortestPaths sp = Dijkstra(augmented, s);
+    size_t settled = 0;
+    for (Weight d : sp.distance) {
+      if (d != kInfinity) ++settled;
+    }
+    result.stats.iterations += settled;
+    for (NodeId t : spec.targets) {
+      if (t == s) continue;
+      if (sp.distance[t] != kInfinity) {
+        result.paths.Add(s, t, sp.distance[t]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+LocalQueryResult RunLocalQuery(const Fragmentation& frag,
+                               const ComplementaryInfo* complementary,
+                               const LocalQuerySpec& spec,
+                               LocalEngine engine) {
+  TCF_CHECK(spec.fragment < frag.NumFragments());
+  TCF_CHECK(!spec.sources.empty() && !spec.targets.empty());
+
+  LocalQueryResult result;
+  switch (engine) {
+    case LocalEngine::kSemiNaive:
+      result = RunRelational(frag, complementary, spec, TcAlgorithm::kSemiNaive);
+      break;
+    case LocalEngine::kSmart:
+      result = RunRelational(frag, complementary, spec, TcAlgorithm::kSmart);
+      break;
+    case LocalEngine::kDijkstra:
+      result = RunDijkstra(frag, complementary, spec);
+      break;
+  }
+
+  // Zero-cost pass-through tuples for shared source/target nodes. The
+  // relational closure only derives paths of length >= 1, and a chain may
+  // cross a fragment at a single disconnection-set node.
+  for (NodeId v : spec.sources) {
+    if (spec.targets.count(v)) result.paths.Add(v, v, 0.0);
+  }
+  result.paths.AggregateMin();
+  result.paths.SortCanonical();
+  result.stats.result_size = result.paths.size();
+  return result;
+}
+
+}  // namespace tcf

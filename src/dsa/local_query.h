@@ -1,0 +1,67 @@
+// Phase 1 of the disconnection set approach: one site's subquery. "Each
+// subquery determines a shortest path per fragment; note that disconnection
+// sets introduce additional selections in the processing of the recursive
+// query, they act as intermediate nodes that must be mandatorily
+// traversed." (Sec. 2.1)
+//
+// A local query computes best paths from a source node set (the query
+// constant or the incoming disconnection set) to a target node set (the
+// outgoing disconnection set or the query constant), within one fragment
+// augmented by its complementary shortcut relation.
+//
+// Two engines:
+//   - the relational engines evaluate the recursive query with the
+//     transitive-closure strategies of src/relational/ (faithful to the
+//     paper's database setting, with full workload statistics);
+//   - the Dijkstra engine runs graph search on the augmented fragment
+//     (the "any suitable single-processor algorithm may be chosen" remark).
+#pragma once
+
+#include "dsa/complementary.h"
+#include "fragment/fragmentation.h"
+#include "relational/transitive_closure.h"
+
+namespace tcf {
+
+enum class LocalEngine {
+  kSemiNaive,  // relational semi-naive iteration
+  kSmart,      // relational logarithmic squaring
+  kDijkstra    // graph search on the augmented fragment
+};
+
+struct LocalQuerySpec {
+  FragmentId fragment = 0;
+  NodeSet sources;
+  NodeSet targets;
+};
+
+struct LocalQueryResult {
+  /// Best (src, dst, cost) per source-target pair, including zero-cost
+  /// self-tuples for nodes in sources ∩ targets (a chain may pass through
+  /// a fragment at a single shared node).
+  Relation paths;
+  /// Workload statistics (relational engines; Dijkstra fills iterations
+  /// with the number of settled nodes as a comparable work proxy).
+  TcStats stats;
+};
+
+/// Runs one local query. If `complementary` is null the fragment is *not*
+/// augmented — the ablation showing why footnote 3's precomputation is
+/// needed for correctness.
+LocalQueryResult RunLocalQuery(const Fragmentation& frag,
+                               const ComplementaryInfo* complementary,
+                               const LocalQuerySpec& spec,
+                               LocalEngine engine = LocalEngine::kDijkstra);
+
+/// The fragment as a standalone graph over the global node-id space,
+/// augmented with the fragment's shortcut relation. Edge ids below
+/// `*num_real_edges_out` (if non-null) are fragment edges, in
+/// FragmentEdges order; ids at or above it are shortcut edges — route
+/// reconstruction uses this split to know which hops must be expanded via
+/// the complementary witnesses.
+Graph BuildAugmentedFragment(const Fragmentation& frag,
+                             const ComplementaryInfo* complementary,
+                             FragmentId fragment,
+                             size_t* num_real_edges_out = nullptr);
+
+}  // namespace tcf

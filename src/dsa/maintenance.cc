@@ -1,0 +1,159 @@
+#include "dsa/maintenance.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+
+namespace tcf {
+
+namespace {
+
+Graph RebuildGraph(const Graph& old, const std::vector<Edge>& edges) {
+  GraphBuilder builder;
+  if (old.has_coordinates()) {
+    for (const Point& p : old.coordinates()) builder.AddNode(p);
+  } else {
+    builder.EnsureNodes(old.NumNodes());
+  }
+  for (const Edge& e : edges) builder.AddEdge(e.src, e.dst, e.weight);
+  return builder.Build();
+}
+
+}  // namespace
+
+MaintainedDatabase::MaintainedDatabase(
+    Graph graph, std::vector<FragmentId> fragment_of_edge,
+    size_t num_fragments, DsaOptions options)
+    : graph_(std::move(graph)),
+      fragment_of_edge_(std::move(fragment_of_edge)),
+      num_fragments_(num_fragments),
+      options_(options) {
+  TCF_CHECK(fragment_of_edge_.size() == graph_.NumEdges());
+  edges_dirty_ = true;
+  Rebuild(/*structure_changed=*/true);
+  // Construction is not an update; start the meters at zero.
+  refreshes_ = 0;
+  rebuilds_ = 0;
+}
+
+MaintainedDatabase MaintainedDatabase::FromFragmentation(
+    const Fragmentation& frag, DsaOptions options) {
+  GraphBuilder builder;
+  const Graph& g = frag.graph();
+  if (g.has_coordinates()) {
+    for (const Point& p : g.coordinates()) builder.AddNode(p);
+  } else {
+    builder.EnsureNodes(g.NumNodes());
+  }
+  for (const Edge& e : g.edges()) builder.AddEdge(e.src, e.dst, e.weight);
+  return MaintainedDatabase(builder.Build(), frag.fragment_of_edge(),
+                            frag.NumFragments(), options);
+}
+
+void MaintainedDatabase::Rebuild(bool structure_changed) {
+  // Any edge-set change invalidates the Fragmentation's derived edge lists,
+  // so the object is rebuilt whenever it might be stale; the *meter* only
+  // counts updates that changed fragment node sets (what a distributed
+  // deployment would have to re-negotiate between sites). Pure re-weights
+  // keep the old Fragmentation (same edges, same ids).
+  if (edges_dirty_ || frag_ == nullptr) {
+    frag_ = std::make_unique<Fragmentation>(&graph_, fragment_of_edge_,
+                                            num_fragments_);
+    // Compaction may renumber fragments; adopt the compacted assignment.
+    fragment_of_edge_ = frag_->fragment_of_edge();
+    num_fragments_ = frag_->NumFragments();
+    edges_dirty_ = false;
+  }
+  if (structure_changed) ++rebuilds_;
+  // DsaDatabase construction recomputes the complementary information.
+  db_ = std::make_unique<DsaDatabase>(frag_.get(), options_);
+  ++refreshes_;
+}
+
+FragmentId MaintainedDatabase::PickFragment(NodeId src, NodeId dst) const {
+  // Prefer a fragment already containing both endpoints; then the smallest
+  // fragment containing one; then the smallest fragment overall.
+  const auto& fs = frag_->FragmentsOfNode(src);
+  const auto& fd = frag_->FragmentsOfNode(dst);
+  for (FragmentId f : fs) {
+    if (std::find(fd.begin(), fd.end(), f) != fd.end()) return f;
+  }
+  auto smallest_of = [&](const std::vector<FragmentId>& candidates) {
+    FragmentId best = Fragmentation::kInvalidFragment;
+    for (FragmentId f : candidates) {
+      if (best == Fragmentation::kInvalidFragment ||
+          frag_->FragmentEdges(f).size() < frag_->FragmentEdges(best).size()) {
+        best = f;
+      }
+    }
+    return best;
+  };
+  std::vector<FragmentId> either(fs.begin(), fs.end());
+  either.insert(either.end(), fd.begin(), fd.end());
+  FragmentId best = smallest_of(either);
+  if (best != Fragmentation::kInvalidFragment) return best;
+  std::vector<FragmentId> all(frag_->NumFragments());
+  for (FragmentId f = 0; f < frag_->NumFragments(); ++f) all[f] = f;
+  return smallest_of(all);
+}
+
+void MaintainedDatabase::InsertEdge(NodeId src, NodeId dst, Weight weight,
+                                    std::optional<FragmentId> target) {
+  TCF_CHECK(src < graph_.NumNodes() && dst < graph_.NumNodes());
+  const FragmentId f = target.value_or(PickFragment(src, dst));
+  TCF_CHECK(f < num_fragments_);
+
+  // Structure changes iff an endpoint is new to the chosen fragment.
+  const auto& nodes = frag_->FragmentNodes(f);
+  const bool structure_changed =
+      !std::binary_search(nodes.begin(), nodes.end(), src) ||
+      !std::binary_search(nodes.begin(), nodes.end(), dst);
+
+  std::vector<Edge> edges = graph_.edges();
+  edges.push_back(Edge{src, dst, weight});
+  fragment_of_edge_.push_back(f);
+  graph_ = RebuildGraph(graph_, edges);
+  edges_dirty_ = true;
+  Rebuild(structure_changed);
+}
+
+size_t MaintainedDatabase::DeleteEdge(NodeId src, NodeId dst) {
+  std::vector<Edge> kept;
+  std::vector<FragmentId> kept_owner;
+  size_t removed = 0;
+  for (EdgeId e = 0; e < graph_.NumEdges(); ++e) {
+    const Edge& edge = graph_.edge(e);
+    if (edge.src == src && edge.dst == dst) {
+      ++removed;
+      continue;
+    }
+    kept.push_back(edge);
+    kept_owner.push_back(fragment_of_edge_[e]);
+  }
+  if (removed == 0) return 0;
+  graph_ = RebuildGraph(graph_, kept);
+  fragment_of_edge_ = std::move(kept_owner);
+  edges_dirty_ = true;
+  // A deletion can shrink a fragment's node set (and thus the
+  // disconnection sets), so it is always a structural event.
+  Rebuild(/*structure_changed=*/true);
+  return removed;
+}
+
+size_t MaintainedDatabase::ReweightEdge(NodeId src, NodeId dst,
+                                        Weight new_weight) {
+  std::vector<Edge> edges = graph_.edges();
+  size_t changed = 0;
+  for (Edge& e : edges) {
+    if (e.src == src && e.dst == dst && e.weight != new_weight) {
+      e.weight = new_weight;
+      ++changed;
+    }
+  }
+  if (changed == 0) return 0;
+  graph_ = RebuildGraph(graph_, edges);
+  Rebuild(/*structure_changed=*/false);
+  return changed;
+}
+
+}  // namespace tcf

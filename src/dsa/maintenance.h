@@ -1,0 +1,77 @@
+// Update handling for a fragmented database — the disadvantage Sec. 2.1
+// names explicitly: "The disadvantage of the disconnection set approach is
+// mainly due to the pre-processing required for building the complementary
+// information and to the careful treatment of updates. ... As long as
+// updates are not too frequent, the pre-processing costs may be amortized
+// over many queries."
+//
+// MaintainedDatabase owns a mutable copy of the relation and its
+// fragmentation and keeps a DsaDatabase consistent through edge inserts,
+// deletes and re-weights. It distinguishes the two maintenance costs:
+//
+//   - a *complementary refresh* — any weight-affecting update can change
+//     global border-to-border shortest paths, so the shortcut relations
+//     must be recomputed (fragment structure intact);
+//   - a *structural rebuild* — an update that changes a fragment's node
+//     set (hence possibly the disconnection sets and the fragmentation
+//     graph) additionally re-derives the whole Fragmentation.
+//
+// Both counters are exposed so benches can price an update workload.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "dsa/query_api.h"
+
+namespace tcf {
+
+class MaintainedDatabase {
+ public:
+  /// Takes ownership of a materialized relation (as a graph) and its
+  /// edge -> fragment assignment.
+  MaintainedDatabase(Graph graph, std::vector<FragmentId> fragment_of_edge,
+                     size_t num_fragments, DsaOptions options = {});
+
+  /// Builds from an existing fragmentation (copies the graph).
+  static MaintainedDatabase FromFragmentation(const Fragmentation& frag,
+                                              DsaOptions options = {});
+
+  const Graph& graph() const { return graph_; }
+  const Fragmentation& fragmentation() const { return *frag_; }
+  const DsaDatabase& db() const { return *db_; }
+
+  /// Inserts one edge tuple. By default it joins the fragment that already
+  /// contains both endpoints, else the (smallest) fragment containing one
+  /// endpoint, else the smallest fragment overall; `target` overrides.
+  void InsertEdge(NodeId src, NodeId dst, Weight weight,
+                  std::optional<FragmentId> target = std::nullopt);
+
+  /// Deletes every tuple (src, dst); returns how many were removed.
+  size_t DeleteEdge(NodeId src, NodeId dst);
+
+  /// Changes the weight of every (src, dst) tuple; returns how many
+  /// changed. A pure re-weight never changes fragment node sets, so it
+  /// costs a complementary refresh only.
+  size_t ReweightEdge(NodeId src, NodeId dst, Weight new_weight);
+
+  /// Maintenance cost counters.
+  size_t complementary_refreshes() const { return refreshes_; }
+  size_t structural_rebuilds() const { return rebuilds_; }
+
+ private:
+  void Rebuild(bool structure_changed);
+  FragmentId PickFragment(NodeId src, NodeId dst) const;
+
+  Graph graph_;
+  std::vector<FragmentId> fragment_of_edge_;
+  size_t num_fragments_;
+  DsaOptions options_;
+  std::unique_ptr<Fragmentation> frag_;
+  std::unique_ptr<DsaDatabase> db_;
+  size_t refreshes_ = 0;
+  size_t rebuilds_ = 0;
+  bool edges_dirty_ = false;
+};
+
+}  // namespace tcf

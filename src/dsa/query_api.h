@@ -1,0 +1,87 @@
+// The public query interface of the disconnection set approach: a
+// DsaDatabase wraps a fragmentation, precomputes the complementary
+// information once (the paper's amortized pre-processing), and answers
+// connection and shortest-path queries by
+//   1. locating the fragments of the two query constants,
+//   2. finding the chain(s) of fragments connecting them,
+//   3. running one independent subquery per fragment on the chain(s), in
+//      parallel, with the disconnection sets as keyhole selections,
+//   4. assembling the per-fragment answers with small binary joins.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "dsa/chains.h"
+#include "dsa/executor.h"
+
+namespace tcf {
+
+struct DsaOptions {
+  LocalEngine engine = LocalEngine::kDijkstra;
+  /// Threads for phase 1; 0 = one per fragment.
+  size_t num_threads = 0;
+  /// Cap on enumerated chains when the fragmentation graph has cycles.
+  size_t max_chains = 64;
+  /// Ablation switch: evaluate without the complementary information
+  /// (answers may then be over-estimates; see EXPERIMENTS.md).
+  bool use_complementary = true;
+};
+
+/// Answer to one query.
+struct QueryAnswer {
+  bool connected = false;
+  Weight cost = kInfinity;            // shortest-path cost (min-plus)
+  size_t chains_considered = 0;
+  std::vector<FragmentId> fragments_involved;  // distinct, phase-1 sites
+};
+
+/// Answer to a route query: the cost plus the realizing node sequence in
+/// the base graph (shortcut hops expanded through the complementary
+/// witnesses). `route` is empty when unconnected, {from} when from == to.
+struct RouteAnswer {
+  QueryAnswer answer;
+  std::vector<NodeId> route;
+};
+
+/// A fragmented database ready to answer transitive-closure queries.
+/// Not thread-safe for concurrent queries (each query uses the internal
+/// pool for its own parallelism).
+class DsaDatabase {
+ public:
+  /// `frag` must outlive the database. Precomputes complementary info.
+  DsaDatabase(const Fragmentation* frag, DsaOptions options = {});
+
+  const Fragmentation& fragmentation() const { return *frag_; }
+  const ComplementaryInfo& complementary() const { return complementary_; }
+  const DsaOptions& options() const { return options_; }
+
+  /// Shortest-path cost between two nodes; kInfinity when unconnected.
+  /// Fills `report` (if given) with the execution breakdown.
+  QueryAnswer ShortestPath(NodeId from, NodeId to,
+                           ExecutionReport* report = nullptr) const;
+
+  /// Shortest path *with the realizing route* ("What is the cost of the
+  /// shortest path between A and B?" needs the path itself in practice).
+  /// The per-fragment answers are assembled exactly as in ShortestPath;
+  /// the winning chain's relay nodes are then back-tracked and each leg is
+  /// re-expanded inside its fragment, with shortcut hops replaced by their
+  /// precomputed witness routes. Requires complementary information.
+  RouteAnswer ShortestRoute(NodeId from, NodeId to,
+                            ExecutionReport* report = nullptr) const;
+
+  /// Reachability ("Is A connected to B?").
+  bool IsConnected(NodeId from, NodeId to,
+                   ExecutionReport* report = nullptr) const;
+
+ private:
+  struct QueryPlan;
+  QueryPlan BuildPlan(NodeId from, NodeId to) const;
+
+  const Fragmentation* frag_;
+  DsaOptions options_;
+  ComplementaryInfo complementary_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace tcf

@@ -1,0 +1,144 @@
+#include "dsa/sites.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "dsa/chains.h"
+#include "dsa/executor.h"
+
+namespace tcf {
+
+SiteNetwork::SiteNetwork(const Fragmentation* frag, LocalEngine engine)
+    : frag_(frag), engine_(engine) {
+  TCF_CHECK(frag != nullptr);
+  complementary_ = PrecomputeComplementary(*frag_);
+  mailboxes_.reserve(frag_->NumFragments());
+  for (FragmentId f = 0; f < frag_->NumFragments(); ++f) {
+    mailboxes_.push_back(std::make_unique<Channel<Subquery>>());
+  }
+  sites_.reserve(frag_->NumFragments());
+  for (FragmentId f = 0; f < frag_->NumFragments(); ++f) {
+    sites_.emplace_back([this, f]() { SiteLoop(f); });
+  }
+}
+
+SiteNetwork::~SiteNetwork() {
+  for (auto& mailbox : mailboxes_) {
+    Subquery poison;
+    poison.shutdown = true;
+    mailbox->Send(poison);
+    mailbox->Close();
+  }
+  for (auto& site : sites_) site.join();
+}
+
+void SiteNetwork::SiteLoop(FragmentId fragment) {
+  while (true) {
+    std::optional<Subquery> message = mailboxes_[fragment]->Receive();
+    if (!message.has_value() || message->shutdown) return;
+    // Phase 1: purely local work — the site touches only its own fragment
+    // and its own complementary relation; no other site is contacted.
+    LocalQueryResult local =
+        RunLocalQuery(*frag_, &complementary_, message->spec, engine_);
+    SiteResult result;
+    result.request_id = message->request_id;
+    result.fragment = fragment;
+    result.paths = std::move(local.paths);
+    coordinator_inbox_.Send(std::move(result));
+  }
+}
+
+Weight SiteNetwork::ShortestPathCost(NodeId from, NodeId to,
+                                     SiteTraffic* traffic) {
+  TCF_CHECK(from < frag_->graph().NumNodes());
+  TCF_CHECK(to < frag_->graph().NumNodes());
+  SiteTraffic local_traffic;
+  if (traffic == nullptr) traffic = &local_traffic;
+  *traffic = SiteTraffic{};
+  if (from == to) return 0.0;
+
+  // Plan: chains and deduplicated subquery specs (the coordinator knows
+  // the fragmentation graph and the disconnection sets — tiny metadata).
+  const auto& from_frags = frag_->FragmentsOfNode(from);
+  const auto& to_frags = frag_->FragmentsOfNode(to);
+  std::vector<FragmentChain> chains;
+  for (FragmentId fa : from_frags) {
+    for (FragmentId fb : to_frags) {
+      for (FragmentChain& c : FindChains(*frag_, fa, fb, 64)) {
+        if (std::find(chains.begin(), chains.end(), c) == chains.end()) {
+          chains.push_back(std::move(c));
+        }
+      }
+    }
+  }
+  if (chains.empty()) return kInfinity;
+
+  auto ds_nodes = [&](FragmentId a, FragmentId b) {
+    const DisconnectionSet* ds = frag_->FindDisconnectionSet(a, b);
+    TCF_CHECK(ds != nullptr);
+    return NodeSet(ds->nodes.begin(), ds->nodes.end());
+  };
+  auto sorted = [](const NodeSet& s) {
+    std::vector<NodeId> v(s.begin(), s.end());
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+
+  std::map<std::tuple<FragmentId, std::vector<NodeId>, std::vector<NodeId>>,
+           uint64_t>
+      spec_request;
+  std::vector<std::vector<uint64_t>> chain_requests(chains.size());
+  size_t outstanding = 0;
+  for (size_t c = 0; c < chains.size(); ++c) {
+    const FragmentChain& chain = chains[c];
+    for (size_t i = 0; i < chain.size(); ++i) {
+      LocalQuerySpec spec;
+      spec.fragment = chain[i];
+      spec.sources =
+          (i == 0) ? NodeSet{from} : ds_nodes(chain[i - 1], chain[i]);
+      spec.targets = (i + 1 == chain.size())
+                         ? NodeSet{to}
+                         : ds_nodes(chain[i], chain[i + 1]);
+      auto key = std::make_tuple(spec.fragment, sorted(spec.sources),
+                                 sorted(spec.targets));
+      auto it = spec_request.find(key);
+      if (it == spec_request.end()) {
+        const uint64_t id = next_request_id_++;
+        it = spec_request.emplace(std::move(key), id).first;
+        Subquery message;
+        message.request_id = id;
+        message.spec = std::move(spec);
+        mailboxes_[chain[i]]->Send(std::move(message));
+        ++traffic->subquery_messages;
+        ++outstanding;
+      }
+      chain_requests[c].push_back(it->second);
+    }
+  }
+
+  // Phase 2: collect the (small) result relations.
+  std::unordered_map<uint64_t, Relation> results;
+  while (outstanding > 0) {
+    std::optional<SiteResult> result = coordinator_inbox_.Receive();
+    TCF_CHECK(result.has_value());
+    ++traffic->result_messages;
+    traffic->result_tuples += result->paths.size();
+    results.emplace(result->request_id, std::move(result->paths));
+    --outstanding;
+  }
+
+  // Final joins at the coordinator.
+  Weight best = kInfinity;
+  for (size_t c = 0; c < chains.size(); ++c) {
+    std::vector<const Relation*> hops;
+    hops.reserve(chain_requests[c].size());
+    for (uint64_t id : chain_requests[c]) hops.push_back(&results.at(id));
+    Relation final = AssembleChain(hops, nullptr);
+    best = std::min(best, final.BestCost(from, to));
+  }
+  return best;
+}
+
+}  // namespace tcf

@@ -1,0 +1,75 @@
+// Message-passing simulation of the distributed deployment the paper
+// targets (the PRISMA multiprocessor of Sec. 5): each fragment R_i is
+// "stored at a different computer or processor" — here, a Site thread
+// owning its fragment and complementary information, reachable only
+// through its mailbox. A coordinator executes queries strictly via
+// messages, which lets tests *verify* rather than assume the paper's
+// phase-1 property: "neither communication nor synchronization is
+// required during the first phase of the computation; ... Only at the end
+// of the computation, communication is required for computing the final
+// joins."
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dsa/local_query.h"
+#include "util/channel.h"
+
+namespace tcf {
+
+/// Communication accounting for one query, by protocol phase.
+struct SiteTraffic {
+  size_t subquery_messages = 0;       // coordinator -> sites (phase 0)
+  size_t result_messages = 0;         // sites -> coordinator (phase 2)
+  size_t result_tuples = 0;           // tuple volume of phase 2
+  size_t inter_site_messages = 0;     // site <-> site (must stay 0!)
+};
+
+/// A network of per-fragment site threads plus a coordinator-side API.
+/// Queries may be issued from one thread at a time.
+class SiteNetwork {
+ public:
+  /// Spawns one thread per fragment. `frag` must outlive the network; the
+  /// complementary information is precomputed here (one copy per site in
+  /// a real deployment; shared read-only storage in the simulation).
+  explicit SiteNetwork(const Fragmentation* frag,
+                       LocalEngine engine = LocalEngine::kDijkstra);
+  ~SiteNetwork();
+
+  SiteNetwork(const SiteNetwork&) = delete;
+  SiteNetwork& operator=(const SiteNetwork&) = delete;
+
+  size_t NumSites() const { return sites_.size(); }
+
+  /// Shortest-path cost via the full message protocol: plan chains, send
+  /// one subquery message per (fragment, selection), await result
+  /// messages, assemble locally. Exact (uses complementary information).
+  Weight ShortestPathCost(NodeId from, NodeId to,
+                          SiteTraffic* traffic = nullptr);
+
+ private:
+  struct Subquery {
+    uint64_t request_id = 0;
+    LocalQuerySpec spec;
+    bool shutdown = false;
+  };
+  struct SiteResult {
+    uint64_t request_id = 0;
+    FragmentId fragment = 0;
+    Relation paths;
+  };
+
+  void SiteLoop(FragmentId fragment);
+
+  const Fragmentation* frag_;
+  LocalEngine engine_;
+  ComplementaryInfo complementary_;
+  std::vector<std::unique_ptr<Channel<Subquery>>> mailboxes_;
+  Channel<SiteResult> coordinator_inbox_;
+  std::vector<std::thread> sites_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace tcf

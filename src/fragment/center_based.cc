@@ -1,0 +1,230 @@
+#include "fragment/center_based.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace tcf {
+
+namespace {
+
+/// Coordinate-based spreading ("we used the coordinates assigned to the
+/// nodes to make sure that the selected nodes would not be too close
+/// together", Sec. 4.2.1), in two phases:
+///   1. farthest-point traversal over all nodes (seeded at the best-scored
+///      node) guarantees one seed per spatial region;
+///   2. each seed is replaced by the best-scored node of its Voronoi cell,
+///      so the final centers are gravity points, not peripheral corners.
+/// Phase 2 is iterated until the assignment stabilizes (a couple of
+/// rounds in practice).
+std::vector<NodeId> SpreadCenters(const Graph& g,
+                                  const std::vector<double>& scores,
+                                  size_t count) {
+  TCF_CHECK(g.has_coordinates());
+  const size_t n = g.NumNodes();
+  TCF_CHECK(count <= n);
+
+  // Phase 1: farthest-point traversal.
+  NodeId best_scored = 0;
+  for (NodeId v = 1; v < n; ++v) {
+    if (scores[v] > scores[best_scored]) best_scored = v;
+  }
+  std::vector<NodeId> centers = {best_scored};
+  std::vector<double> dist_to_centers(n, kInfinity);
+  while (centers.size() < count) {
+    const NodeId latest = centers.back();
+    NodeId farthest = kInvalidNode;
+    for (NodeId v = 0; v < n; ++v) {
+      dist_to_centers[v] = std::min(
+          dist_to_centers[v], Distance(g.coordinate(v), g.coordinate(latest)));
+      const bool taken =
+          std::find(centers.begin(), centers.end(), v) != centers.end();
+      if (!taken && (farthest == kInvalidNode ||
+                     dist_to_centers[v] > dist_to_centers[farthest])) {
+        farthest = v;
+      }
+    }
+    TCF_CHECK(farthest != kInvalidNode);
+    centers.push_back(farthest);
+  }
+
+  // Phase 2: re-center each Voronoi cell on its best-scored node.
+  for (int round = 0; round < 4; ++round) {
+    std::vector<NodeId> best_of_cell(count, kInvalidNode);
+    for (NodeId v = 0; v < n; ++v) {
+      size_t cell = 0;
+      double best_dist = kInfinity;
+      for (size_t c = 0; c < count; ++c) {
+        const double d = Distance(g.coordinate(v), g.coordinate(centers[c]));
+        if (d < best_dist) {
+          best_dist = d;
+          cell = c;
+        }
+      }
+      NodeId& champion = best_of_cell[cell];
+      if (champion == kInvalidNode || scores[v] > scores[champion] ||
+          (scores[v] == scores[champion] && v < champion)) {
+        champion = v;
+      }
+    }
+    bool changed = false;
+    for (size_t c = 0; c < count; ++c) {
+      if (best_of_cell[c] != kInvalidNode && best_of_cell[c] != centers[c]) {
+        centers[c] = best_of_cell[c];
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return centers;
+}
+
+}  // namespace
+
+std::vector<NodeId> DetermineCenters(const Graph& g,
+                                     const CenterBasedOptions& options) {
+  TCF_CHECK(options.num_fragments >= 1);
+  TCF_CHECK_MSG(options.num_fragments <= g.NumNodes(),
+                "more centers than nodes");
+  if (!options.distributed_centers) {
+    return TopStatusNodes(g, options.num_fragments, options.score);
+  }
+  TCF_CHECK_MSG(g.has_coordinates(),
+                "distributed centers require node coordinates");
+  return SpreadCenters(g, StatusScores(g, options.score),
+                       options.num_fragments);
+}
+
+Fragmentation CenterBasedFragmentation(const Graph& g,
+                                       const CenterBasedOptions& options) {
+  const std::vector<NodeId> centers = DetermineCenters(g, options);
+  const size_t n = centers.size();
+  const size_t m = g.NumEdges();
+
+  constexpr FragmentId kUnassigned = Fragmentation::kInvalidFragment;
+  std::vector<FragmentId> owner(m, kUnassigned);
+  std::vector<std::vector<char>> in_fragment(
+      n, std::vector<char>(g.NumNodes(), 0));
+  // Frontier nodes per fragment whose incident edges may be claimable.
+  std::vector<std::vector<NodeId>> frontier(n);
+  std::vector<size_t> edge_count(n, 0);
+  size_t remaining = m;
+
+  auto claim_node_edges = [&](FragmentId f, NodeId v) {
+    // Claim all still-unassigned edges incident to v.
+    size_t claimed = 0;
+    auto claim = [&](EdgeId e, NodeId other) {
+      if (owner[e] != kUnassigned) return;
+      owner[e] = f;
+      ++edge_count[f];
+      ++claimed;
+      --remaining;
+      if (!in_fragment[f][other]) {
+        in_fragment[f][other] = 1;
+        frontier[f].push_back(other);
+      }
+    };
+    for (const OutEdge& oe : g.OutEdges(v)) claim(oe.id, oe.dst);
+    for (const InEdge& ie : g.InEdges(v)) claim(ie.id, ie.src);
+    return claimed;
+  };
+
+  // Initialisation (Fig. 4): V_i = {c_i}; E_i = edges adjacent to c_i.
+  // Centers are processed in score order; an edge adjacent to two centers
+  // goes to the earlier one.
+  for (FragmentId f = 0; f < n; ++f) {
+    in_fragment[f][centers[f]] = 1;
+    frontier[f].push_back(centers[f]);
+  }
+  for (FragmentId f = 0; f < n; ++f) {
+    claim_node_edges(f, centers[f]);
+  }
+
+  // One expansion step of fragment f: absorb every unassigned edge adjacent
+  // to its current node set (one "relational join" round).
+  auto expand = [&](FragmentId f) {
+    std::vector<NodeId> old_frontier = std::move(frontier[f]);
+    frontier[f].clear();
+    size_t claimed = 0;
+    for (NodeId v : old_frontier) claimed += claim_node_edges(f, v);
+    if (claimed == 0) {
+      // Frontier may still be useful later if another fragment frees
+      // nothing — but edges only ever get claimed, so an empty harvest
+      // means this frontier is exhausted for good.
+      return claimed;
+    }
+    return claimed;
+  };
+
+  if (options.growth == CenterBasedOptions::Growth::kRoundRobin) {
+    // Fig. 4 main loop: k cycles over fragments until E is empty; stall
+    // detection added for disconnected leftovers.
+    size_t stalled_rounds = 0;
+    FragmentId k = 0;
+    while (remaining > 0 && stalled_rounds < n) {
+      const size_t claimed = expand(k);
+      stalled_rounds = claimed == 0 ? stalled_rounds + 1 : 0;
+      k = static_cast<FragmentId>((k + 1) % n);
+    }
+  } else {
+    // Smallest-first: expand the fragment with the fewest edges among those
+    // that can still grow.
+    std::vector<char> exhausted(n, 0);
+    while (remaining > 0) {
+      FragmentId best = kUnassigned;
+      for (FragmentId f = 0; f < n; ++f) {
+        if (exhausted[f] || frontier[f].empty()) continue;
+        if (best == kUnassigned || edge_count[f] < edge_count[best]) {
+          best = f;
+        }
+      }
+      if (best == kUnassigned) break;  // nothing can grow
+      if (expand(best) == 0 && frontier[best].empty()) exhausted[best] = 1;
+    }
+  }
+
+  // Disconnected leftovers: graft each remaining weak component (over
+  // unassigned edges) onto the currently smallest fragment.
+  if (remaining > 0) {
+    TCF_LOG(Debug) << remaining
+                   << " edges unreachable from all centers; grafting";
+    std::vector<char> edge_seen(m, 0);
+    for (EdgeId seed = 0; seed < m; ++seed) {
+      if (owner[seed] != kUnassigned || edge_seen[seed]) continue;
+      // Collect the component of `seed` over unassigned edges.
+      std::vector<EdgeId> component;
+      std::vector<NodeId> stack = {g.edge(seed).src};
+      std::vector<char> node_seen(g.NumNodes(), 0);
+      node_seen[g.edge(seed).src] = 1;
+      while (!stack.empty()) {
+        NodeId v = stack.back();
+        stack.pop_back();
+        auto visit = [&](EdgeId e, NodeId other) {
+          if (owner[e] != kUnassigned || edge_seen[e]) return;
+          edge_seen[e] = 1;
+          component.push_back(e);
+          if (!node_seen[other]) {
+            node_seen[other] = 1;
+            stack.push_back(other);
+          }
+        };
+        for (const OutEdge& oe : g.OutEdges(v)) visit(oe.id, oe.dst);
+        for (const InEdge& ie : g.InEdges(v)) visit(ie.id, ie.src);
+      }
+      FragmentId smallest = 0;
+      for (FragmentId f = 1; f < n; ++f) {
+        if (edge_count[f] < edge_count[smallest]) smallest = f;
+      }
+      for (EdgeId e : component) {
+        owner[e] = smallest;
+        ++edge_count[smallest];
+        --remaining;
+      }
+    }
+  }
+  TCF_CHECK(remaining == 0);
+  return Fragmentation(&g, std::move(owner), n);
+}
+
+}  // namespace tcf

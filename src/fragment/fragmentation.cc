@@ -1,0 +1,149 @@
+#include "fragment/fragmentation.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "graph/builder.h"
+
+namespace tcf {
+
+Fragmentation::Fragmentation(const Graph* graph,
+                             std::vector<FragmentId> fragment_of_edge,
+                             size_t num_fragments)
+    : graph_(graph) {
+  TCF_CHECK(graph != nullptr);
+  TCF_CHECK_MSG(fragment_of_edge.size() == graph->NumEdges(),
+                "every edge must be assigned to a fragment");
+
+  // Compact away empty fragments, preserving order.
+  std::vector<size_t> counts(num_fragments, 0);
+  for (FragmentId f : fragment_of_edge) {
+    TCF_CHECK_MSG(f < num_fragments, "fragment id out of range");
+    ++counts[f];
+  }
+  std::vector<FragmentId> remap(num_fragments, 0);
+  FragmentId next = 0;
+  for (size_t f = 0; f < num_fragments; ++f) {
+    remap[f] = next;
+    if (counts[f] > 0) ++next;
+  }
+  const size_t nf = next;
+  fragment_of_edge_.resize(fragment_of_edge.size());
+  for (size_t e = 0; e < fragment_of_edge.size(); ++e) {
+    fragment_of_edge_[e] = remap[fragment_of_edge[e]];
+  }
+
+  // Edge and node sets per fragment.
+  fragment_edges_.resize(nf);
+  for (EdgeId e = 0; e < fragment_of_edge_.size(); ++e) {
+    fragment_edges_[fragment_of_edge_[e]].push_back(e);
+  }
+  fragment_nodes_.resize(nf);
+  for (FragmentId f = 0; f < nf; ++f) {
+    auto& nodes = fragment_nodes_[f];
+    for (EdgeId e : fragment_edges_[f]) {
+      nodes.push_back(graph_->edge(e).src);
+      nodes.push_back(graph_->edge(e).dst);
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  }
+
+  // Node -> fragments.
+  fragments_of_node_.resize(graph_->NumNodes());
+  for (FragmentId f = 0; f < nf; ++f) {
+    for (NodeId v : fragment_nodes_[f]) fragments_of_node_[v].push_back(f);
+  }
+
+  // Disconnection sets DS_ij = V_i ∩ V_j, discovered through border nodes.
+  std::map<std::pair<FragmentId, FragmentId>, std::vector<NodeId>> ds;
+  border_nodes_.resize(nf);
+  for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
+    const auto& frags = fragments_of_node_[v];
+    if (frags.size() < 2) continue;
+    for (size_t i = 0; i < frags.size(); ++i) {
+      border_nodes_[frags[i]].push_back(v);
+      for (size_t j = i + 1; j < frags.size(); ++j) {
+        ds[{frags[i], frags[j]}].push_back(v);
+      }
+    }
+  }
+  for (auto& [key, nodes] : ds) {
+    std::sort(nodes.begin(), nodes.end());
+    disconnection_sets_.push_back(
+        DisconnectionSet{key.first, key.second, std::move(nodes)});
+  }
+  for (auto& nodes : border_nodes_) {
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  }
+
+  // Fragmentation graph G' and its cycle structure.
+  fragment_adjacency_.resize(nf);
+  for (const DisconnectionSet& d : disconnection_sets_) {
+    fragment_adjacency_[d.frag_a].push_back(d.frag_b);
+    fragment_adjacency_[d.frag_b].push_back(d.frag_a);
+  }
+  for (auto& adj : fragment_adjacency_) std::sort(adj.begin(), adj.end());
+
+  // cycles = E' - N' + components(G').
+  std::vector<int> comp(nf, -1);
+  int num_comps = 0;
+  for (FragmentId start = 0; start < nf; ++start) {
+    if (comp[start] >= 0) continue;
+    ++num_comps;
+    std::vector<FragmentId> stack = {start};
+    comp[start] = num_comps - 1;
+    while (!stack.empty()) {
+      FragmentId f = stack.back();
+      stack.pop_back();
+      for (FragmentId g : fragment_adjacency_[f]) {
+        if (comp[g] < 0) {
+          comp[g] = num_comps - 1;
+          stack.push_back(g);
+        }
+      }
+    }
+  }
+  const size_t num_frag_edges = disconnection_sets_.size();
+  cycles_ = num_frag_edges + static_cast<size_t>(num_comps) >= nf
+                ? num_frag_edges + static_cast<size_t>(num_comps) - nf
+                : 0;
+  loosely_connected_ = (cycles_ == 0);
+}
+
+const DisconnectionSet* Fragmentation::FindDisconnectionSet(
+    FragmentId a, FragmentId b) const {
+  if (a > b) std::swap(a, b);
+  for (const DisconnectionSet& d : disconnection_sets_) {
+    if (d.frag_a == a && d.frag_b == b) return &d;
+  }
+  return nullptr;
+}
+
+Graph Fragmentation::FragmentSubgraph(FragmentId f) const {
+  TCF_CHECK(f < NumFragments());
+  GraphBuilder builder;
+  if (graph_->has_coordinates()) {
+    for (const Point& p : graph_->coordinates()) builder.AddNode(p);
+  } else {
+    builder.EnsureNodes(graph_->NumNodes());
+  }
+  for (EdgeId e : fragment_edges_[f]) {
+    const Edge& edge = graph_->edge(e);
+    builder.AddEdge(edge.src, edge.dst, edge.weight);
+  }
+  return builder.Build();
+}
+
+std::vector<int> Fragmentation::NodeGroups() const {
+  std::vector<int> groups(graph_->NumNodes(), -1);
+  for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
+    const auto& frags = fragments_of_node_[v];
+    if (!frags.empty()) groups[v] = static_cast<int>(frags.front());
+  }
+  return groups;
+}
+
+}  // namespace tcf

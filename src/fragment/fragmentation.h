@@ -1,0 +1,117 @@
+// The fragmentation model of Sec. 2: the relation R is partitioned into n
+// fragments R_i; this induces subgraphs G_i; the disconnection sets are the
+// node intersections DS_ij = G_i ∩ G_j; the fragmentation graph G' has one
+// node per fragment and an edge per nonempty disconnection set, and the
+// fragmentation is "loosely connected" when G' is acyclic.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tcf {
+
+using FragmentId = uint32_t;
+
+/// A disconnection set DS_ij (i < j): the nodes shared by fragments i and j.
+struct DisconnectionSet {
+  FragmentId frag_a = 0;
+  FragmentId frag_b = 0;
+  std::vector<NodeId> nodes;  // sorted
+};
+
+/// An edge-partition of a graph together with everything the disconnection
+/// set approach derives from it. Immutable once constructed.
+class Fragmentation {
+ public:
+  /// Builds from an edge -> fragment assignment (every edge must be
+  /// assigned; fragment ids must be < num_fragments). Empty fragments are
+  /// compacted away, preserving relative order.
+  Fragmentation(const Graph* graph, std::vector<FragmentId> fragment_of_edge,
+                size_t num_fragments);
+
+  const Graph& graph() const { return *graph_; }
+  size_t NumFragments() const { return fragment_edges_.size(); }
+
+  /// Which fragment owns each edge (compacted ids).
+  const std::vector<FragmentId>& fragment_of_edge() const {
+    return fragment_of_edge_;
+  }
+  /// Edge ids of fragment f.
+  const std::vector<EdgeId>& FragmentEdges(FragmentId f) const {
+    TCF_CHECK(f < fragment_edges_.size());
+    return fragment_edges_[f];
+  }
+  /// Sorted node ids of fragment f (nodes incident to its edges).
+  const std::vector<NodeId>& FragmentNodes(FragmentId f) const {
+    TCF_CHECK(f < fragment_nodes_.size());
+    return fragment_nodes_[f];
+  }
+  /// All fragments containing `node` (possibly several: border nodes).
+  const std::vector<FragmentId>& FragmentsOfNode(NodeId node) const {
+    TCF_CHECK(node < fragments_of_node_.size());
+    return fragments_of_node_[node];
+  }
+  /// True if `node` belongs to >= 2 fragments.
+  bool IsBorderNode(NodeId node) const {
+    return FragmentsOfNode(node).size() >= 2;
+  }
+  /// All border nodes of fragment f (nodes of f shared with any other
+  /// fragment), sorted.
+  const std::vector<NodeId>& BorderNodes(FragmentId f) const {
+    TCF_CHECK(f < border_nodes_.size());
+    return border_nodes_[f];
+  }
+
+  /// The nonempty disconnection sets, sorted by (frag_a, frag_b).
+  const std::vector<DisconnectionSet>& disconnection_sets() const {
+    return disconnection_sets_;
+  }
+  /// The disconnection set between a and b, or nullptr if empty.
+  const DisconnectionSet* FindDisconnectionSet(FragmentId a,
+                                               FragmentId b) const;
+
+  /// Fragmentation graph adjacency: neighbors of fragment f in G'.
+  const std::vector<FragmentId>& FragmentNeighbors(FragmentId f) const {
+    TCF_CHECK(f < fragment_adjacency_.size());
+    return fragment_adjacency_[f];
+  }
+
+  /// Sec. 2.1: loosely connected == the fragmentation graph is acyclic.
+  bool IsLooselyConnected() const { return loosely_connected_; }
+
+  /// Number of independent cycles in the fragmentation graph
+  /// (edges - nodes + components).
+  size_t FragmentationGraphCycles() const { return cycles_; }
+
+  /// The fragment that contains `node` interior-ly, or the first fragment
+  /// containing it if it is a border node; kInvalidFragment if isolated.
+  static constexpr FragmentId kInvalidFragment =
+      std::numeric_limits<FragmentId>::max();
+  FragmentId HomeFragment(NodeId node) const {
+    const auto& frags = FragmentsOfNode(node);
+    return frags.empty() ? kInvalidFragment : frags.front();
+  }
+
+  /// Materializes fragment f as a standalone Graph over the *global* node
+  /// id space (node count = graph().NumNodes(), edges = fragment edges).
+  Graph FragmentSubgraph(FragmentId f) const;
+
+  /// Node -> fragment map for visualisation: border nodes get the first
+  /// fragment, isolated nodes -1.
+  std::vector<int> NodeGroups() const;
+
+ private:
+  const Graph* graph_;
+  std::vector<FragmentId> fragment_of_edge_;
+  std::vector<std::vector<EdgeId>> fragment_edges_;
+  std::vector<std::vector<NodeId>> fragment_nodes_;
+  std::vector<std::vector<FragmentId>> fragments_of_node_;
+  std::vector<std::vector<NodeId>> border_nodes_;
+  std::vector<DisconnectionSet> disconnection_sets_;
+  std::vector<std::vector<FragmentId>> fragment_adjacency_;
+  bool loosely_connected_ = true;
+  size_t cycles_ = 0;
+};
+
+}  // namespace tcf

@@ -1,0 +1,53 @@
+#include "fragment/fragmentation_io.h"
+
+#include <fstream>
+
+namespace tcf {
+
+Status WriteFragmentation(const Fragmentation& frag,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "tcf-fragmentation 1\n";
+  out << frag.fragment_of_edge().size() << " " << frag.NumFragments()
+      << "\n";
+  for (size_t e = 0; e < frag.fragment_of_edge().size(); ++e) {
+    out << frag.fragment_of_edge()[e]
+        << (e + 1 == frag.fragment_of_edge().size() ? '\n' : ' ');
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Fragmentation> ReadFragmentation(const Graph& graph,
+                                        const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "tcf-fragmentation" || version != 1) {
+    return Status::InvalidArgument("not a tcf-fragmentation v1 file: " +
+                                   path);
+  }
+  size_t num_edges = 0, num_fragments = 0;
+  in >> num_edges >> num_fragments;
+  if (!in) return Status::InvalidArgument("bad header: " + path);
+  if (num_edges != graph.NumEdges()) {
+    return Status::FailedPrecondition(
+        "fragmentation is for a different relation (edge count mismatch)");
+  }
+  std::vector<FragmentId> owner(num_edges);
+  for (size_t e = 0; e < num_edges; ++e) {
+    uint64_t f = 0;
+    in >> f;
+    if (!in) return Status::InvalidArgument("truncated assignment: " + path);
+    if (f >= num_fragments) {
+      return Status::OutOfRange("fragment id out of range: " + path);
+    }
+    owner[e] = static_cast<FragmentId>(f);
+  }
+  return Fragmentation(&graph, std::move(owner), num_fragments);
+}
+
+}  // namespace tcf

@@ -1,0 +1,27 @@
+// Persistence for fragmentation designs. A fragmentation is an expensive
+// artifact (the bond-energy ordering alone is cubic) that a database
+// administrator computes once and deploys; these helpers store and reload
+// it next to the graph written by graph/io.h.
+#pragma once
+
+#include <string>
+
+#include "fragment/fragmentation.h"
+#include "util/status.h"
+
+namespace tcf {
+
+/// Writes the edge -> fragment assignment:
+///
+///   tcf-fragmentation 1
+///   <num_edges> <num_fragments>
+///   <fragment id of edge 0..num_edges-1, whitespace separated>
+Status WriteFragmentation(const Fragmentation& frag, const std::string& path);
+
+/// Reads a fragmentation written by WriteFragmentation and re-derives all
+/// structures against `graph` (which must be the same relation, e.g.
+/// reloaded via ReadEdgeList). Fails if the edge count does not match.
+Result<Fragmentation> ReadFragmentation(const Graph& graph,
+                                        const std::string& path);
+
+}  // namespace tcf

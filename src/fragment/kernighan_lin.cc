@@ -1,0 +1,121 @@
+#include "fragment/kernighan_lin.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "fragment/node_partition.h"
+
+namespace tcf {
+
+namespace {
+
+/// One balanced bisection of `nodes` (indices into the graph) with
+/// FM-style single-node move refinement. Returns side labels (0/1)
+/// parallel to `nodes`.
+std::vector<char> Bisect(const Graph& g, const std::vector<NodeId>& nodes,
+                         const KernighanLinOptions& options, Rng* rng) {
+  const size_t k = nodes.size();
+  std::vector<char> side(k, 0);
+  if (k < 2) return side;
+
+  // Position of each graph node inside `nodes` (or -1 if outside the
+  // region being split — edges to outside nodes do not count).
+  std::vector<int> local(g.NumNodes(), -1);
+  for (size_t i = 0; i < k; ++i) local[nodes[i]] = static_cast<int>(i);
+
+  // Initial split: random halves (deterministic via rng).
+  std::vector<size_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  for (size_t i = 0; i < k / 2; ++i) side[order[i]] = 1;
+
+  const size_t min_side = static_cast<size_t>(
+      static_cast<double>(k) * (0.5 - options.balance_slack));
+
+  auto move_gain = [&](size_t i) {
+    // Crossing edges removed minus crossing edges created by flipping i.
+    int internal = 0, external = 0;
+    for (NodeId w : g.UndirectedNeighbors(nodes[i])) {
+      const int j = local[w];
+      if (j < 0) continue;
+      if (side[static_cast<size_t>(j)] == side[i]) {
+        ++internal;
+      } else {
+        ++external;
+      }
+    }
+    return external - internal;
+  };
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    bool improved = false;
+    std::vector<char> locked(k, 0);
+    size_t count1 = 0;
+    for (char s : side) count1 += (s == 1);
+    while (true) {
+      int best_gain = 0;  // only strictly improving moves
+      size_t best = k;
+      for (size_t i = 0; i < k; ++i) {
+        if (locked[i]) continue;
+        // Balance: moving off a side must not shrink it below min_side.
+        const size_t from_size = side[i] == 1 ? count1 : k - count1;
+        if (from_size <= min_side) continue;
+        const int gain = move_gain(i);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = i;
+        }
+      }
+      if (best == k) break;
+      count1 += side[best] == 1 ? -1 : 1;
+      side[best] = static_cast<char>(1 - side[best]);
+      locked[best] = 1;
+      improved = true;
+    }
+    if (!improved) break;
+  }
+  return side;
+}
+
+}  // namespace
+
+Fragmentation KernighanLinFragmentation(const Graph& g,
+                                        const KernighanLinOptions& options) {
+  TCF_CHECK(options.num_fragments >= 1);
+  Rng rng(options.seed);
+
+  // Recursive bisection: always split the part with the most nodes until
+  // num_fragments parts exist.
+  std::vector<std::vector<NodeId>> parts(1);
+  parts[0].resize(g.NumNodes());
+  std::iota(parts[0].begin(), parts[0].end(), 0);
+  while (parts.size() < options.num_fragments) {
+    size_t largest = 0;
+    for (size_t p = 1; p < parts.size(); ++p) {
+      if (parts[p].size() > parts[largest].size()) largest = p;
+    }
+    if (parts[largest].size() < 2) break;  // nothing left to split
+    std::vector<NodeId> region = std::move(parts[largest]);
+    std::vector<char> side = Bisect(g, region, options, &rng);
+    std::vector<NodeId> zero, one;
+    for (size_t i = 0; i < region.size(); ++i) {
+      (side[i] ? one : zero).push_back(region[i]);
+    }
+    // A degenerate split (everything on one side) would loop forever.
+    if (zero.empty() || one.empty()) {
+      const size_t half = region.size() / 2;
+      zero.assign(region.begin(), region.begin() + half);
+      one.assign(region.begin() + half, region.end());
+    }
+    parts[largest] = std::move(zero);
+    parts.push_back(std::move(one));
+  }
+
+  std::vector<int> block(g.NumNodes(), 0);
+  for (size_t p = 0; p < parts.size(); ++p) {
+    for (NodeId v : parts[p]) block[v] = static_cast<int>(p);
+  }
+  return FragmentationFromNodePartition(g, block, parts.size());
+}
+
+}  // namespace tcf

@@ -1,0 +1,31 @@
+// A min-edge-cut fragmenter in the Kernighan–Lin / Fiduccia–Mattheyses
+// family, as a forward-looking baseline: the paper closes with "It may
+// well be the case that the actual algorithm to be used for data
+// fragmentation depends on the type of graph that is considered" (Sec. 5),
+// and graph-partitioning heuristics of this family became the standard
+// answer. Recursive balanced bisection with single-node move refinement;
+// small disconnection sets *and* balanced fragments are optimized
+// together, at a cost the 1993 algorithms avoid.
+#pragma once
+
+#include "fragment/fragmentation.h"
+#include "util/rng.h"
+
+namespace tcf {
+
+struct KernighanLinOptions {
+  size_t num_fragments = 4;
+  /// Allowed imbalance per bisection: a side may hold up to
+  /// (0.5 + balance_slack) of the nodes.
+  double balance_slack = 0.1;
+  /// Refinement passes per bisection.
+  int max_passes = 8;
+  uint64_t seed = 1;
+};
+
+/// Recursive balanced min-cut partition of the nodes, converted to an edge
+/// fragmentation via the standard node-partition rule.
+Fragmentation KernighanLinFragmentation(const Graph& g,
+                                        const KernighanLinOptions& options);
+
+}  // namespace tcf

@@ -1,0 +1,159 @@
+#include "fragment/linear.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace tcf {
+
+namespace {
+
+/// Sort key along the sweep direction: smaller key = earlier start.
+double SweepKey(const Graph& g, NodeId v, LinearOptions::Start start) {
+  const Point& p = g.coordinate(v);
+  switch (start) {
+    case LinearOptions::Start::kLeft: return p.x;
+    case LinearOptions::Start::kRight: return -p.x;
+    case LinearOptions::Start::kBottom: return p.y;
+    case LinearOptions::Start::kTop: return -p.y;
+  }
+  return p.x;
+}
+
+/// The s extreme nodes among `candidates`.
+std::vector<NodeId> ExtremeNodes(const Graph& g,
+                                 std::vector<NodeId> candidates, size_t s,
+                                 LinearOptions::Start start) {
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](NodeId a, NodeId b) {
+                     const double ka = SweepKey(g, a, start);
+                     const double kb = SweepKey(g, b, start);
+                     if (ka != kb) return ka < kb;
+                     return a < b;
+                   });
+  if (candidates.size() > s) candidates.resize(s);
+  return candidates;
+}
+
+}  // namespace
+
+LinearResult LinearFragmentation(const Graph& g,
+                                 const LinearOptions& options) {
+  TCF_CHECK(options.num_fragments >= 1);
+  TCF_CHECK_MSG(g.has_coordinates() || options.start_nodes.has_value(),
+                "linear fragmentation needs coordinates or start nodes");
+  const size_t m = g.NumEdges();
+  const size_t threshold =
+      std::max<size_t>(1, m / options.num_fragments);
+  const size_t s = options.num_start_nodes > 0
+                       ? options.num_start_nodes
+                       : std::max<size_t>(1, g.NumNodes() / 20);
+
+  constexpr FragmentId kUnassigned = Fragmentation::kInvalidFragment;
+  std::vector<FragmentId> owner(m, kUnassigned);
+  size_t remaining = m;
+
+  // in_fragment[v]: whether v already belongs to the current fragment's
+  // node set V_k (reset at each fragment switch via the epoch trick).
+  std::vector<uint32_t> node_epoch(g.NumNodes(), 0);
+  uint32_t epoch = 0;
+
+  std::vector<std::vector<NodeId>> boundaries;
+  std::vector<NodeId> start_n;
+
+  auto reseed = [&]() {
+    // Fresh start nodes from the extreme end of whatever still has edges.
+    std::vector<NodeId> candidates;
+    std::vector<char> seen(g.NumNodes(), 0);
+    for (EdgeId e = 0; e < m; ++e) {
+      if (owner[e] != kUnassigned) continue;
+      for (NodeId v : {g.edge(e).src, g.edge(e).dst}) {
+        if (!seen[v]) {
+          seen[v] = 1;
+          candidates.push_back(v);
+        }
+      }
+    }
+    return ExtremeNodes(g, std::move(candidates), s, options.start);
+  };
+
+  if (options.start_nodes.has_value()) {
+    start_n = *options.start_nodes;
+    TCF_CHECK_MSG(!start_n.empty(), "empty explicit start node set");
+  } else {
+    start_n = reseed();
+  }
+
+  FragmentId k = 0;
+  size_t edges_in_k = 0;
+  ++epoch;  // open fragment 0
+
+  while (remaining > 0) {
+    // Inner loop of Fig. 7: accumulate rings of adjacent edges until the
+    // fragment reaches the threshold (or nothing is adjacent anymore).
+    while (edges_in_k < threshold && remaining > 0) {
+      // new_e := edges incident to start_n; mark start nodes as in V_k.
+      for (NodeId v : start_n) node_epoch[v] = epoch;
+      std::vector<EdgeId> new_e;
+      for (NodeId v : start_n) {
+        for (const OutEdge& oe : g.OutEdges(v)) {
+          if (owner[oe.id] == kUnassigned) new_e.push_back(oe.id);
+        }
+        for (const InEdge& ie : g.InEdges(v)) {
+          if (owner[ie.id] == kUnassigned) new_e.push_back(ie.id);
+        }
+      }
+      std::sort(new_e.begin(), new_e.end());
+      new_e.erase(std::unique(new_e.begin(), new_e.end()), new_e.end());
+
+      if (new_e.empty()) {
+        if (start_n.empty() || remaining > 0) {
+          // Disconnected remainder (or interior dead end): re-seed. The
+          // fresh nodes share nothing with previous fragments, so the
+          // chain property is preserved.
+          start_n = reseed();
+          if (start_n.empty()) break;  // no edges left at all
+          continue;
+        }
+        break;
+      }
+
+      // start_n := nodes newly touched by new_e that were not in V_k.
+      std::vector<NodeId> next_start;
+      for (EdgeId e : new_e) {
+        owner[e] = k;
+        ++edges_in_k;
+        --remaining;
+        for (NodeId v : {g.edge(e).src, g.edge(e).dst}) {
+          if (node_epoch[v] != epoch) {
+            node_epoch[v] = epoch;
+            next_start.push_back(v);
+          }
+        }
+      }
+      std::sort(next_start.begin(), next_start.end());
+      next_start.erase(std::unique(next_start.begin(), next_start.end()),
+                       next_start.end());
+      start_n = std::move(next_start);
+    }
+
+    if (remaining == 0) break;
+
+    // Close fragment k: the current boundary becomes DS_k(k+1) and seeds
+    // fragment k+1 (Fig. 7: DS := start_n).
+    boundaries.push_back(start_n);
+    ++k;
+    edges_in_k = 0;
+    ++epoch;
+    if (start_n.empty()) {
+      start_n = reseed();
+      if (start_n.empty()) break;
+    }
+  }
+
+  TCF_CHECK(remaining == 0);
+  Fragmentation frag(&g, std::move(owner), static_cast<size_t>(k) + 1);
+  return LinearResult{std::move(frag), std::move(boundaries)};
+}
+
+}  // namespace tcf

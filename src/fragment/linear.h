@@ -1,0 +1,50 @@
+// The linear fragmentation algorithm of Sec. 3.3 (Figs. 6-8): sweep the
+// graph from one extreme end using the node coordinates, accumulating
+// adjacent edges into the current fragment; when the fragment reaches the
+// threshold |E| / f, the current boundary nodes become the disconnection
+// set and seed the next fragment. Fragments therefore form a chain
+// G1 - DS12 - G2 - DS23 - ..., so the fragmentation graph is *guaranteed
+// acyclic* (loosely connected) — at the price of potentially large
+// disconnection sets and unbalanced fragments.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fragment/fragmentation.h"
+
+namespace tcf {
+
+struct LinearOptions {
+  /// f: the threshold is |E| / f. The realized fragment count may differ
+  /// ("fragments that are just the size of the threshold but also
+  /// fragments that are much larger").
+  size_t num_fragments = 4;
+
+  /// s: how many extreme nodes seed the sweep; 0 -> max(1, n / 20).
+  size_t num_start_nodes = 0;
+
+  /// Which extreme end to start from (Fig. 8: the choice matters).
+  enum class Start { kLeft, kRight, kBottom, kTop };
+  Start start = Start::kLeft;
+
+  /// Explicit user-provided start nodes ("for actual applications we might
+  /// ask the user to provide us with the start nodes").
+  std::optional<std::vector<NodeId>> start_nodes;
+};
+
+/// Result with the boundary sets the algorithm recorded (Fig. 7's
+/// DS_k(k+1) — the formal disconnection sets of the Fragmentation are the
+/// node intersections, which tests compare against these).
+struct LinearResult {
+  Fragmentation fragmentation;
+  std::vector<std::vector<NodeId>> recorded_boundaries;
+};
+
+/// Runs the linear fragmentation. Requires coordinates unless explicit
+/// start nodes are given. Disconnected remainders re-seed the sweep from
+/// the extreme end of what is left (still cycle-free: fresh components
+/// share no nodes with earlier fragments).
+LinearResult LinearFragmentation(const Graph& g, const LinearOptions& options);
+
+}  // namespace tcf

@@ -1,0 +1,70 @@
+#include "fragment/metrics.h"
+
+#include <sstream>
+
+#include "graph/algorithms.h"
+#include "util/stats.h"
+
+namespace tcf {
+
+FragmentationCharacteristics ComputeCharacteristics(const Fragmentation& frag,
+                                                    bool with_diameters) {
+  FragmentationCharacteristics c;
+  c.num_fragments = frag.NumFragments();
+  c.num_disconnection_sets = frag.disconnection_sets().size();
+  c.loosely_connected = frag.IsLooselyConnected();
+  c.fragmentation_graph_cycles = frag.FragmentationGraphCycles();
+
+  Accumulator frag_sizes;
+  for (FragmentId f = 0; f < frag.NumFragments(); ++f) {
+    frag_sizes.Add(static_cast<double>(frag.FragmentEdges(f).size()));
+  }
+  if (!frag_sizes.empty()) {
+    c.avg_fragment_edges = frag_sizes.Mean();
+    c.dev_fragment_edges = frag_sizes.AvgDeviation();
+    c.max_fragment_edges = frag_sizes.Max();
+    c.min_fragment_edges = frag_sizes.Min();
+  }
+
+  Accumulator ds_sizes;
+  for (const DisconnectionSet& ds : frag.disconnection_sets()) {
+    ds_sizes.Add(static_cast<double>(ds.nodes.size()));
+  }
+  if (!ds_sizes.empty()) {
+    c.avg_ds_nodes = ds_sizes.Mean();
+    c.dev_ds_nodes = ds_sizes.AvgDeviation();
+  }
+
+  size_t borders = 0;
+  for (NodeId v = 0; v < frag.graph().NumNodes(); ++v) {
+    if (frag.IsBorderNode(v)) ++borders;
+  }
+  c.total_border_nodes = borders;
+
+  if (with_diameters) {
+    Accumulator diameters;
+    for (FragmentId f = 0; f < frag.NumFragments(); ++f) {
+      Graph sub = frag.FragmentSubgraph(f);
+      diameters.Add(static_cast<double>(
+          HopDiameter(sub, Direction::kUndirected)));
+    }
+    if (!diameters.empty()) {
+      c.avg_fragment_diameter = diameters.Mean();
+      c.max_fragment_diameter = diameters.Max();
+    }
+  }
+  return c;
+}
+
+std::string CharacteristicsRow(const std::string& name,
+                               const FragmentationCharacteristics& c) {
+  std::ostringstream os;
+  os << name << " | F=" << TablePrinter::Fmt(c.avg_fragment_edges)
+     << " | DS=" << TablePrinter::Fmt(c.avg_ds_nodes)
+     << " | dF=" << TablePrinter::Fmt(c.dev_fragment_edges)
+     << " | dDS=" << TablePrinter::Fmt(c.dev_ds_nodes)
+     << " | acyclic=" << (c.loosely_connected ? "yes" : "no");
+  return os.str();
+}
+
+}  // namespace tcf

@@ -1,0 +1,44 @@
+// The fragmentation characteristics reported in Tables 1-3 of the paper:
+// average fragment size F (edges), average disconnection set size DS
+// (nodes), and the average deviations ΔF and ΔDS — plus the structural
+// properties Sec. 2.2 identifies as the third design issue (cycles in the
+// fragmentation graph).
+#pragma once
+
+#include <string>
+
+#include "fragment/fragmentation.h"
+
+namespace tcf {
+
+/// Summary of one fragmentation, in the paper's vocabulary.
+struct FragmentationCharacteristics {
+  size_t num_fragments = 0;
+  size_t num_disconnection_sets = 0;
+
+  double avg_fragment_edges = 0.0;   // F̄   (paper column "F")
+  double avg_ds_nodes = 0.0;         // DS̄  (paper column "DS")
+  double dev_fragment_edges = 0.0;   // ΔF  (average deviation from F̄)
+  double dev_ds_nodes = 0.0;         // ΔDS (average deviation from DS̄)
+
+  bool loosely_connected = false;    // fragmentation graph acyclic?
+  size_t fragmentation_graph_cycles = 0;
+
+  /// Extras beyond the paper's columns, used by the workload benches.
+  double max_fragment_edges = 0.0;
+  double min_fragment_edges = 0.0;
+  double avg_fragment_diameter = 0.0;  // hop diameter per fragment subgraph
+  double max_fragment_diameter = 0.0;
+  size_t total_border_nodes = 0;       // distinct nodes in >= 2 fragments
+};
+
+/// Computes the characteristics. `with_diameters` additionally materializes
+/// every fragment subgraph and measures hop diameters (slower).
+FragmentationCharacteristics ComputeCharacteristics(
+    const Fragmentation& frag, bool with_diameters = false);
+
+/// One formatted row "algorithm | F | DS | ΔF | ΔDS" as in Tables 1-3.
+std::string CharacteristicsRow(const std::string& name,
+                               const FragmentationCharacteristics& c);
+
+}  // namespace tcf

@@ -1,0 +1,24 @@
+#include "fragment/node_partition.h"
+
+#include <algorithm>
+
+namespace tcf {
+
+Fragmentation FragmentationFromNodePartition(
+    const Graph& graph, const std::vector<int>& block_of_node,
+    size_t num_blocks) {
+  TCF_CHECK_MSG(block_of_node.size() == graph.NumNodes(),
+                "every node needs a block");
+  std::vector<FragmentId> fragment_of_edge(graph.NumEdges());
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    const Edge& edge = graph.edge(e);
+    const int bs = block_of_node[edge.src];
+    const int bd = block_of_node[edge.dst];
+    TCF_CHECK(bs >= 0 && static_cast<size_t>(bs) < num_blocks);
+    TCF_CHECK(bd >= 0 && static_cast<size_t>(bd) < num_blocks);
+    fragment_of_edge[e] = static_cast<FragmentId>(std::min(bs, bd));
+  }
+  return Fragmentation(&graph, std::move(fragment_of_edge), num_blocks);
+}
+
+}  // namespace tcf

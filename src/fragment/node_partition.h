@@ -1,0 +1,24 @@
+// Conversion from a node partition (blocks of nodes, as produced by the
+// bond-energy algorithm's matrix split or by the random baseline) to an
+// edge-partition Fragmentation.
+//
+// Intra-block edges go to their block's fragment. A cross edge between
+// blocks i and j is assigned to min(i, j) — and because both tuples of a
+// symmetric pair get the same fragment, exactly the foreign endpoint
+// becomes a border node, matching the paper's reading of the matrix ("the
+// 1's for the columns of a block that fall outside the corresponding rows
+// are the connections with other fragments").
+#pragma once
+
+#include <vector>
+
+#include "fragment/fragmentation.h"
+
+namespace tcf {
+
+/// block_of_node[v] in [0, num_blocks). Every node must be assigned.
+Fragmentation FragmentationFromNodePartition(
+    const Graph& graph, const std::vector<int>& block_of_node,
+    size_t num_blocks);
+
+}  // namespace tcf

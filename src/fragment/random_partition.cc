@@ -1,0 +1,18 @@
+#include "fragment/random_partition.h"
+
+#include "fragment/node_partition.h"
+
+namespace tcf {
+
+Fragmentation RandomFragmentation(const Graph& g, size_t num_fragments,
+                                  Rng* rng) {
+  TCF_CHECK(rng != nullptr);
+  TCF_CHECK(num_fragments >= 1);
+  std::vector<int> block(g.NumNodes());
+  for (auto& b : block) {
+    b = static_cast<int>(rng->NextBounded(num_fragments));
+  }
+  return FragmentationFromNodePartition(g, block, num_fragments);
+}
+
+}  // namespace tcf

@@ -1,0 +1,16 @@
+// Baseline fragmentation: assign every node to a uniformly random block.
+// No paper algorithm should ever be worse than this on its own goal; the
+// benches use it to put Tables 1-3 in context.
+#pragma once
+
+#include "fragment/fragmentation.h"
+#include "util/rng.h"
+
+namespace tcf {
+
+/// Uniform random node partition into `num_fragments` blocks, converted to
+/// an edge fragmentation via the standard node-partition rule.
+Fragmentation RandomFragmentation(const Graph& g, size_t num_fragments,
+                                  Rng* rng);
+
+}  // namespace tcf

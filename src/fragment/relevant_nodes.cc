@@ -1,0 +1,50 @@
+#include "fragment/relevant_nodes.h"
+
+#include <algorithm>
+
+#include "graph/min_cut.h"
+
+namespace tcf {
+
+std::vector<RelevantNode> FindRelevantNodes(
+    const Graph& g, const RelevantNodesOptions& options) {
+  const size_t n = g.NumNodes();
+  std::vector<size_t> counts(n, 0);
+  if (n < 3) return {};
+
+  auto probe = [&](NodeId a, NodeId b) {
+    if (a == b) return;
+    auto nbrs = g.UndirectedNeighbors(a);
+    if (std::binary_search(nbrs.begin(), nbrs.end(), b)) return;
+    VertexCut cut = MinVertexCut(g, a, b);
+    for (NodeId v : cut.nodes) ++counts[v];
+  };
+
+  if (options.sample_pairs == 0) {
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = a + 1; b < n; ++b) probe(a, b);
+    }
+  } else {
+    Rng rng(options.seed);
+    for (size_t i = 0; i < options.sample_pairs; ++i) {
+      const NodeId a = static_cast<NodeId>(rng.NextBounded(n));
+      const NodeId b = static_cast<NodeId>(rng.NextBounded(n));
+      probe(a, b);
+    }
+  }
+
+  std::vector<RelevantNode> result;
+  for (NodeId v = 0; v < n; ++v) {
+    if (counts[v] > 0) result.push_back(RelevantNode{v, counts[v]});
+  }
+  std::stable_sort(result.begin(), result.end(),
+                   [](const RelevantNode& a, const RelevantNode& b) {
+                     if (a.cut_count != b.cut_count) {
+                       return a.cut_count > b.cut_count;
+                     }
+                     return a.node < b.node;
+                   });
+  return result;
+}
+
+}  // namespace tcf

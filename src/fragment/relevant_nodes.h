@@ -1,0 +1,37 @@
+// The authors' abandoned first idea (Sec. 3, before 3.1): investigate the
+// k-connectivity of the graph and mark as 'relevant' the nodes whose
+// removal would increase it — candidates for disconnection sets. They
+// report two problems: cycles in the fragmentation graph let paths detour
+// through other fragments and distort the measure, and "all possible
+// combinations of nodes and paths have to be taken into account", which is
+// very computation intensive. We implement it as an analysis/ablation so
+// the benches can demonstrate exactly that cost.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace tcf {
+
+struct RelevantNodesOptions {
+  /// Number of non-adjacent node pairs sampled for min-vertex-cut probing;
+  /// 0 means all pairs (quadratic — only for tiny graphs).
+  size_t sample_pairs = 64;
+  uint64_t seed = 42;
+};
+
+/// A node together with how often it appeared in a sampled minimum cut.
+struct RelevantNode {
+  NodeId node = kInvalidNode;
+  size_t cut_count = 0;
+};
+
+/// Nodes appearing in minimum s-t vertex cuts between sampled non-adjacent
+/// pairs, most frequent first. These are the nodes "whose removal would
+/// increase the k-connectivity".
+std::vector<RelevantNode> FindRelevantNodes(
+    const Graph& g, const RelevantNodesOptions& options = {});
+
+}  // namespace tcf

@@ -1,0 +1,185 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace tcf {
+
+namespace {
+
+/// Visit all neighbors of `node` in the requested direction.
+template <typename Fn>
+void ForEachNeighbor(const Graph& g, NodeId node, Direction dir, Fn&& fn) {
+  if (dir == Direction::kForward || dir == Direction::kUndirected) {
+    for (const OutEdge& e : g.OutEdges(node)) fn(e.dst, e.weight, e.id);
+  }
+  if (dir == Direction::kBackward || dir == Direction::kUndirected) {
+    for (const InEdge& e : g.InEdges(node)) fn(e.src, e.weight, e.id);
+  }
+}
+
+}  // namespace
+
+std::vector<int> BfsHops(const Graph& g, NodeId source, Direction dir) {
+  TCF_CHECK(source < g.NumNodes());
+  std::vector<int> dist(g.NumNodes(), -1);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    NodeId v = frontier.front();
+    frontier.pop();
+    ForEachNeighbor(g, v, dir, [&](NodeId w, Weight, EdgeId) {
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+    });
+  }
+  return dist;
+}
+
+std::vector<NodeId> ShortestPaths::PathTo(NodeId target) const {
+  if (target >= distance.size() || distance[target] == kInfinity) return {};
+  std::vector<NodeId> path;
+  NodeId v = target;
+  while (v != kInvalidNode) {
+    path.push_back(v);
+    v = parent[v];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<EdgeId> ShortestPaths::EdgesTo(NodeId target) const {
+  if (target >= distance.size() || distance[target] == kInfinity) return {};
+  std::vector<EdgeId> edges;
+  NodeId v = target;
+  while (parent[v] != kInvalidNode) {
+    edges.push_back(parent_edge[v]);
+    v = parent[v];
+  }
+  std::reverse(edges.begin(), edges.end());
+  return edges;
+}
+
+ShortestPaths Dijkstra(const Graph& g, NodeId source, Direction dir) {
+  TCF_CHECK(source < g.NumNodes());
+  ShortestPaths result;
+  result.distance.assign(g.NumNodes(), kInfinity);
+  result.parent.assign(g.NumNodes(), kInvalidNode);
+  result.parent_edge.assign(g.NumNodes(), kInvalidEdge);
+  using Item = std::pair<Weight, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  result.distance[source] = 0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > result.distance[v]) continue;  // stale entry
+    ForEachNeighbor(g, v, dir, [&](NodeId w, Weight weight, EdgeId e) {
+      TCF_CHECK_MSG(weight >= 0, "Dijkstra requires non-negative weights");
+      const Weight nd = d + weight;
+      if (nd < result.distance[w]) {
+        result.distance[w] = nd;
+        result.parent[w] = v;
+        result.parent_edge[w] = e;
+        heap.emplace(nd, w);
+      }
+    });
+  }
+  return result;
+}
+
+std::vector<std::vector<Weight>> FloydWarshall(const Graph& g) {
+  const size_t n = g.NumNodes();
+  std::vector<std::vector<Weight>> dist(n,
+                                        std::vector<Weight>(n, kInfinity));
+  for (size_t i = 0; i < n; ++i) dist[i][i] = 0;
+  for (const Edge& e : g.edges()) {
+    dist[e.src][e.dst] = std::min(dist[e.src][e.dst], e.weight);
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (dist[i][k] == kInfinity) continue;
+      for (size_t j = 0; j < n; ++j) {
+        const Weight via = dist[i][k] + dist[k][j];
+        if (via < dist[i][j]) dist[i][j] = via;
+      }
+    }
+  }
+  return dist;
+}
+
+WidestPaths WidestPathsFrom(const Graph& g, NodeId source) {
+  TCF_CHECK(source < g.NumNodes());
+  WidestPaths result;
+  result.capacity.assign(g.NumNodes(), 0.0);
+  result.parent.assign(g.NumNodes(), kInvalidNode);
+  using Item = std::pair<Weight, NodeId>;  // max-heap on capacity
+  std::priority_queue<Item> heap;
+  result.capacity[source] = kInfinity;
+  heap.emplace(kInfinity, source);
+  while (!heap.empty()) {
+    auto [cap, v] = heap.top();
+    heap.pop();
+    if (cap < result.capacity[v]) continue;  // stale entry
+    for (const OutEdge& e : g.OutEdges(v)) {
+      TCF_CHECK_MSG(e.weight >= 0, "widest paths require weights >= 0");
+      const Weight through = std::min(cap, e.weight);
+      if (through > result.capacity[e.dst]) {
+        result.capacity[e.dst] = through;
+        result.parent[e.dst] = v;
+        heap.emplace(through, e.dst);
+      }
+    }
+  }
+  return result;
+}
+
+Components WeaklyConnectedComponents(const Graph& g) {
+  Components result;
+  result.component.assign(g.NumNodes(), -1);
+  for (NodeId start = 0; start < g.NumNodes(); ++start) {
+    if (result.component[start] >= 0) continue;
+    const int id = result.count++;
+    std::queue<NodeId> frontier;
+    result.component[start] = id;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      NodeId v = frontier.front();
+      frontier.pop();
+      ForEachNeighbor(g, v, Direction::kUndirected,
+                      [&](NodeId w, Weight, EdgeId) {
+        if (result.component[w] < 0) {
+          result.component[w] = id;
+          frontier.push(w);
+        }
+      });
+    }
+  }
+  return result;
+}
+
+int Eccentricity(const Graph& g, NodeId node, Direction dir) {
+  std::vector<int> dist = BfsHops(g, node, dir);
+  int ecc = -1;
+  for (int d : dist) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+int HopDiameter(const Graph& g, Direction dir) {
+  int diameter = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    diameter = std::max(diameter, Eccentricity(g, v, dir));
+  }
+  return diameter;
+}
+
+bool Reachable(const Graph& g, NodeId from, NodeId to) {
+  if (from == to) return true;
+  std::vector<int> dist = BfsHops(g, from, Direction::kForward);
+  return dist[to] >= 0;
+}
+
+}  // namespace tcf

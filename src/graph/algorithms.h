@@ -1,0 +1,79 @@
+// Classic graph algorithms used as oracles (tests verify the relational
+// engine and the disconnection set approach against them) and as building
+// blocks of the fragmentation algorithms (BFS layers for the status score,
+// diameter for the workload model of Sec. 2.2).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tcf {
+
+/// Edge-direction handling for traversals.
+enum class Direction {
+  kForward,    // follow edges src -> dst
+  kBackward,   // follow edges dst -> src
+  kUndirected  // follow both
+};
+
+/// Hop distances from `source` (-1 for unreachable nodes).
+std::vector<int> BfsHops(const Graph& g, NodeId source,
+                         Direction dir = Direction::kForward);
+
+/// Sentinel for "no edge".
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Shortest-path result from a single source.
+struct ShortestPaths {
+  std::vector<Weight> distance;     // kInfinity for unreachable
+  std::vector<NodeId> parent;       // kInvalidNode for source/unreachable
+  std::vector<EdgeId> parent_edge;  // edge taken into each node
+
+  /// Reconstruct the node sequence source..target; empty if unreachable.
+  std::vector<NodeId> PathTo(NodeId target) const;
+  /// The edge ids of PathTo, in order (one fewer than the nodes).
+  std::vector<EdgeId> EdgesTo(NodeId target) const;
+};
+
+/// Dijkstra from `source`. All edge weights must be >= 0 (checked).
+ShortestPaths Dijkstra(const Graph& g, NodeId source,
+                       Direction dir = Direction::kForward);
+
+/// All-pairs shortest path distances by Floyd–Warshall. O(n^3); intended
+/// for tests and the small complementary-information relations only.
+std::vector<std::vector<Weight>> FloydWarshall(const Graph& g);
+
+/// Widest-path (bottleneck) result from a single source: capacity[v] is
+/// the maximum over paths of the minimum edge weight along the path
+/// ("what is the largest shipment that can travel from A to B?").
+/// capacity[source] = kInfinity; unreachable nodes have capacity 0.
+struct WidestPaths {
+  std::vector<Weight> capacity;
+  std::vector<NodeId> parent;
+};
+
+/// Max-min Dijkstra over forward edges. Edge weights must be >= 0.
+WidestPaths WidestPathsFrom(const Graph& g, NodeId source);
+
+/// Weakly connected component id per node, ids dense from 0.
+struct Components {
+  std::vector<int> component;
+  int count = 0;
+};
+Components WeaklyConnectedComponents(const Graph& g);
+
+/// Eccentricity (max finite hop distance) of `node`, ignoring unreachable
+/// nodes; -1 if the node reaches nothing.
+int Eccentricity(const Graph& g, NodeId node,
+                 Direction dir = Direction::kUndirected);
+
+/// Hop diameter: max eccentricity over all nodes (per component; unreachable
+/// pairs are ignored). The paper uses the diameter as the driver of the
+/// number of transitive-closure iterations.
+int HopDiameter(const Graph& g, Direction dir = Direction::kUndirected);
+
+/// True if there is a directed path from `from` to `to`.
+bool Reachable(const Graph& g, NodeId from, NodeId to);
+
+}  // namespace tcf

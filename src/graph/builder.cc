@@ -1,0 +1,107 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tcf {
+
+NodeId GraphBuilder::AddNode(Point coordinate) {
+  NodeId id = static_cast<NodeId>(num_nodes_);
+  coordinates_.resize(num_nodes_);  // pad any implicitly created nodes
+  coordinates_.push_back(coordinate);
+  ++num_nodes_;
+  return id;
+}
+
+void GraphBuilder::AddEdge(NodeId src, NodeId dst, Weight weight) {
+  TCF_CHECK(src != kInvalidNode && dst != kInvalidNode);
+  num_nodes_ = std::max(num_nodes_, static_cast<size_t>(
+                                        std::max(src, dst)) + 1);
+  edges_.push_back(Edge{src, dst, weight});
+}
+
+void GraphBuilder::AddSymmetricEdge(NodeId src, NodeId dst, Weight weight) {
+  AddEdge(src, dst, weight);
+  AddEdge(dst, src, weight);
+}
+
+void GraphBuilder::EnsureNodes(size_t n) {
+  num_nodes_ = std::max(num_nodes_, n);
+}
+
+void GraphBuilder::DeduplicateEdges() {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.weight < b.weight;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.src == b.src && a.dst == b.dst;
+                           }),
+               edges_.end());
+}
+
+Graph GraphBuilder::Build() {
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.edges_ = std::move(edges_);
+  if (coordinates_.size() == num_nodes_) {
+    g.coordinates_ = std::move(coordinates_);
+  }
+  edges_.clear();
+  coordinates_.clear();
+  num_nodes_ = 0;
+
+  const size_t n = g.num_nodes_;
+  const size_t m = g.edges_.size();
+
+  // Out-CSR via counting sort on src.
+  g.out_offsets_.assign(n + 1, 0);
+  for (const Edge& e : g.edges_) ++g.out_offsets_[e.src + 1];
+  for (size_t i = 0; i < n; ++i) g.out_offsets_[i + 1] += g.out_offsets_[i];
+  g.out_adj_.resize(m);
+  {
+    std::vector<size_t> cursor(g.out_offsets_.begin(),
+                               g.out_offsets_.end() - 1);
+    for (EdgeId id = 0; id < m; ++id) {
+      const Edge& e = g.edges_[id];
+      g.out_adj_[cursor[e.src]++] = OutEdge{e.dst, e.weight, id};
+    }
+  }
+
+  // In-CSR via counting sort on dst.
+  g.in_offsets_.assign(n + 1, 0);
+  for (const Edge& e : g.edges_) ++g.in_offsets_[e.dst + 1];
+  for (size_t i = 0; i < n; ++i) g.in_offsets_[i + 1] += g.in_offsets_[i];
+  g.in_adj_.resize(m);
+  {
+    std::vector<size_t> cursor(g.in_offsets_.begin(),
+                               g.in_offsets_.end() - 1);
+    for (EdgeId id = 0; id < m; ++id) {
+      const Edge& e = g.edges_[id];
+      g.in_adj_[cursor[e.dst]++] = InEdge{e.src, e.weight, id};
+    }
+  }
+
+  // Undirected deduplicated neighbor lists.
+  g.und_offsets_.assign(n + 1, 0);
+  g.und_adj_.clear();
+  std::vector<NodeId> scratch;
+  for (NodeId v = 0; v < n; ++v) {
+    scratch.clear();
+    for (const OutEdge& oe : g.OutEdges(v)) {
+      if (oe.dst != v) scratch.push_back(oe.dst);
+    }
+    for (const InEdge& ie : g.InEdges(v)) {
+      if (ie.src != v) scratch.push_back(ie.src);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    g.und_adj_.insert(g.und_adj_.end(), scratch.begin(), scratch.end());
+    g.und_offsets_[v + 1] = g.und_adj_.size();
+  }
+  return g;
+}
+
+}  // namespace tcf

@@ -1,0 +1,47 @@
+// Mutable construction interface for Graph.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tcf {
+
+/// Accumulates nodes and edges, then freezes them into the CSR Graph.
+/// Node ids are dense [0, n); adding an edge implicitly grows the node
+/// count to cover its endpoints (without coordinates).
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+  /// Pre-declare n coordinate-less nodes.
+  explicit GraphBuilder(size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds a node with a coordinate; returns its id. Mixing AddNode with
+  /// implicit node creation via AddEdge is allowed, but coordinates are
+  /// kept only if *every* node got one.
+  NodeId AddNode(Point coordinate);
+
+  /// Adds a directed edge tuple.
+  void AddEdge(NodeId src, NodeId dst, Weight weight = 1.0);
+  /// Adds both (src, dst) and (dst, src) with the same weight.
+  void AddSymmetricEdge(NodeId src, NodeId dst, Weight weight = 1.0);
+
+  /// Ensure the node-id space covers [0, n).
+  void EnsureNodes(size_t n);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Remove exact duplicate (src, dst) pairs, keeping the smallest weight.
+  void DeduplicateEdges();
+
+  /// Freeze into an immutable Graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  size_t num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<Point> coordinates_;
+};
+
+}  // namespace tcf

@@ -1,0 +1,234 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+#include "util/logging.h"
+
+namespace tcf {
+
+namespace {
+
+std::vector<Point> DrawCoordinates(size_t n, const Region& region, Rng* rng) {
+  std::vector<Point> coords(n);
+  for (auto& p : coords) {
+    p.x = rng->NextDouble(region.x0, region.x1);
+    p.y = rng->NextDouble(region.y0, region.y1);
+  }
+  return coords;
+}
+
+Weight EdgeWeight(const Point& a, const Point& b, WeightModel model) {
+  switch (model) {
+    case WeightModel::kUnit: return 1.0;
+    case WeightModel::kDistance: return Distance(a, b);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Graph GenerateGeneralGraph(const GeneralGraphOptions& options, Rng* rng) {
+  TCF_CHECK(rng != nullptr);
+  TCF_CHECK(options.num_nodes >= 1);
+  TCF_CHECK_MSG(options.c1.has_value() || options.target_edges.has_value(),
+                "give either c1 or target_edges");
+  const size_t n = options.num_nodes;
+  std::vector<Point> coords = DrawCoordinates(n, options.region, rng);
+
+  // Decay sums for calibration: S = sum over unordered pairs of e^(-c2 d).
+  double c1;
+  if (options.c1.has_value()) {
+    c1 = *options.c1;
+  } else {
+    double decay_sum = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        decay_sum += std::exp(-options.c2 * Distance(coords[p], coords[q]));
+      }
+    }
+    // Expected tuples = 2 * (c1/n^2) * decay_sum, whether the two tuples of
+    // a pair are drawn together (symmetric) or independently (directed).
+    TCF_CHECK_MSG(decay_sum > 0.0, "degenerate coordinate draw");
+    c1 = *options.target_edges * static_cast<double>(n) *
+         static_cast<double>(n) / (2.0 * decay_sum);
+  }
+
+  GraphBuilder builder;
+  for (const Point& p : coords) builder.AddNode(p);
+
+  const double scale = c1 / (static_cast<double>(n) * static_cast<double>(n));
+  for (size_t p = 0; p < n; ++p) {
+    for (size_t q = p + 1; q < n; ++q) {
+      const double prob =
+          scale * std::exp(-options.c2 * Distance(coords[p], coords[q]));
+      const Weight w =
+          EdgeWeight(coords[p], coords[q], options.weight_model);
+      if (options.symmetric) {
+        if (rng->NextBool(prob)) {
+          builder.AddSymmetricEdge(static_cast<NodeId>(p),
+                                   static_cast<NodeId>(q), w);
+        }
+      } else {
+        if (rng->NextBool(prob)) {
+          builder.AddEdge(static_cast<NodeId>(p), static_cast<NodeId>(q), w);
+        }
+        if (rng->NextBool(prob)) {
+          builder.AddEdge(static_cast<NodeId>(q), static_cast<NodeId>(p), w);
+        }
+      }
+    }
+  }
+
+  Graph g = builder.Build();
+  if (!options.ensure_connected) return g;
+
+  // Patch connectivity: link each non-primary component to the nearest node
+  // of the growing connected part.
+  while (true) {
+    Components comps = WeaklyConnectedComponents(g);
+    if (comps.count <= 1) break;
+    // Find globally closest pair of nodes in different components.
+    size_t best_p = 0, best_q = 0;
+    double best_d = kInfinity;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        if (comps.component[p] == comps.component[q]) continue;
+        const double d = Distance(coords[p], coords[q]);
+        if (d < best_d) {
+          best_d = d;
+          best_p = p;
+          best_q = q;
+        }
+      }
+    }
+    GraphBuilder patch;
+    for (const Point& p : coords) patch.AddNode(p);
+    for (const Edge& e : g.edges()) patch.AddEdge(e.src, e.dst, e.weight);
+    const Weight w =
+        EdgeWeight(coords[best_p], coords[best_q], options.weight_model);
+    if (options.symmetric) {
+      patch.AddSymmetricEdge(static_cast<NodeId>(best_p),
+                             static_cast<NodeId>(best_q), w);
+    } else {
+      patch.AddEdge(static_cast<NodeId>(best_p), static_cast<NodeId>(best_q),
+                    w);
+    }
+    g = patch.Build();
+  }
+  return g;
+}
+
+TransportationGraph GenerateTransportationGraph(
+    const TransportationGraphOptions& options, Rng* rng) {
+  TCF_CHECK(rng != nullptr);
+  TCF_CHECK(options.num_clusters >= 1);
+  const size_t k = options.num_clusters;
+  const size_t nc = options.nodes_per_cluster;
+
+  // Lay clusters out on a near-square grid of unit cells.
+  const size_t grid_cols =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(k))));
+
+  TransportationGraph result;
+  GraphBuilder builder;
+  result.cluster_of_node.assign(k * nc, 0);
+
+  std::vector<Point> coords;
+  coords.reserve(k * nc);
+  for (size_t c = 0; c < k; ++c) {
+    const double cx = static_cast<double>(c % grid_cols);
+    const double cy = static_cast<double>(c / grid_cols);
+    GeneralGraphOptions cluster_opts;
+    cluster_opts.num_nodes = nc;
+    cluster_opts.c2 = options.c2;
+    cluster_opts.target_edges = options.target_edges_per_cluster;
+    cluster_opts.symmetric = options.symmetric;
+    cluster_opts.ensure_connected = true;
+    cluster_opts.weight_model = options.weight_model;
+    cluster_opts.region = Region{cx + options.cell_margin,
+                                 cy + options.cell_margin,
+                                 cx + 1.0 - options.cell_margin,
+                                 cy + 1.0 - options.cell_margin};
+    Rng cluster_rng = rng->Fork();
+    Graph cluster = GenerateGeneralGraph(cluster_opts, &cluster_rng);
+
+    const NodeId base = static_cast<NodeId>(c * nc);
+    for (NodeId v = 0; v < nc; ++v) {
+      builder.AddNode(cluster.coordinate(v));
+      coords.push_back(cluster.coordinate(v));
+      result.cluster_of_node[base + v] = static_cast<int>(c);
+    }
+    for (const Edge& e : cluster.edges()) {
+      builder.AddEdge(base + e.src, base + e.dst, e.weight);
+    }
+  }
+
+  // Inter-cluster links: default ring with 2 edges per link (Fig. 3 shape).
+  std::vector<InterClusterLink> links = options.links;
+  if (links.empty() && k >= 2) {
+    for (size_t c = 0; c < k; ++c) {
+      if (k == 2 && c == 1) break;  // avoid the duplicate 1-0 link
+      links.push_back(InterClusterLink{c, (c + 1) % k, 2});
+    }
+  }
+
+  for (const InterClusterLink& link : links) {
+    TCF_CHECK(link.cluster_a < k && link.cluster_b < k);
+    TCF_CHECK(link.cluster_a != link.cluster_b);
+    // Candidate cross pairs sorted by distance; greedily pick the closest,
+    // preferring unused endpoints so border points stay "relatively few"
+    // but distinct.
+    struct Candidate {
+      double dist;
+      NodeId u, v;
+    };
+    std::vector<Candidate> candidates;
+    const NodeId base_a = static_cast<NodeId>(link.cluster_a * nc);
+    const NodeId base_b = static_cast<NodeId>(link.cluster_b * nc);
+    for (NodeId i = 0; i < nc; ++i) {
+      for (NodeId j = 0; j < nc; ++j) {
+        const NodeId u = base_a + i;
+        const NodeId v = base_b + j;
+        candidates.push_back({Distance(coords[u], coords[v]), u, v});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.dist != b.dist) return a.dist < b.dist;
+                if (a.u != b.u) return a.u < b.u;
+                return a.v < b.v;
+              });
+    std::vector<NodeId> used;
+    size_t added = 0;
+    for (const Candidate& cand : candidates) {
+      if (added == link.num_edges) break;
+      const bool u_used =
+          std::find(used.begin(), used.end(), cand.u) != used.end();
+      const bool v_used =
+          std::find(used.begin(), used.end(), cand.v) != used.end();
+      if (u_used || v_used) continue;
+      const Weight w = EdgeWeight(coords[cand.u], coords[cand.v],
+                                  options.weight_model);
+      if (options.symmetric) {
+        builder.AddSymmetricEdge(cand.u, cand.v, w);
+      } else {
+        builder.AddEdge(cand.u, cand.v, w);
+      }
+      used.push_back(cand.u);
+      used.push_back(cand.v);
+      ++added;
+    }
+    TCF_CHECK_MSG(added == link.num_edges,
+                  "could not realize inter-cluster link (clusters too small)");
+  }
+
+  result.links = std::move(links);
+  result.graph = builder.Build();
+  return result;
+}
+
+}  // namespace tcf

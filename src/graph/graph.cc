@@ -1,0 +1,18 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace tcf {
+
+bool Graph::IsSymmetric() const {
+  for (const Edge& e : edges_) {
+    auto out = OutEdges(e.dst);
+    bool found = std::any_of(out.begin(), out.end(), [&](const OutEdge& oe) {
+      return oe.dst == e.src;
+    });
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace tcf

@@ -1,0 +1,106 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.h"
+
+namespace tcf {
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  // Round-trip exact doubles: a reloaded graph must answer queries
+  // bit-identically to the original.
+  out.precision(17);
+  out << "tcf-graph 1\n";
+  out << g.NumNodes() << " " << g.NumEdges() << " "
+      << (g.has_coordinates() ? 1 : 0) << "\n";
+  if (g.has_coordinates()) {
+    for (const Point& p : g.coordinates()) out << p.x << " " << p.y << "\n";
+  }
+  for (const Edge& e : g.edges()) {
+    out << e.src << " " << e.dst << " " << e.weight << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Graph> ReadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "tcf-graph" || version != 1) {
+    return Status::InvalidArgument("not a tcf-graph v1 file: " + path);
+  }
+  size_t n = 0, m = 0;
+  int has_coords = 0;
+  in >> n >> m >> has_coords;
+  if (!in) return Status::InvalidArgument("bad header: " + path);
+  GraphBuilder builder;
+  if (has_coords) {
+    for (size_t i = 0; i < n; ++i) {
+      Point p;
+      in >> p.x >> p.y;
+      builder.AddNode(p);
+    }
+  } else {
+    builder.EnsureNodes(n);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    uint64_t src = 0, dst = 0;
+    double w = 1.0;
+    in >> src >> dst >> w;
+    if (!in) return Status::InvalidArgument("bad edge line: " + path);
+    if (src >= n || dst >= n) {
+      return Status::OutOfRange("edge endpoint out of range: " + path);
+    }
+    builder.AddEdge(static_cast<NodeId>(src), static_cast<NodeId>(dst), w);
+  }
+  return builder.Build();
+}
+
+Status WriteDot(const Graph& g, const std::string& path,
+                const std::vector<int>& node_group,
+                const std::vector<bool>& highlight) {
+  if (!node_group.empty() && node_group.size() != g.NumNodes()) {
+    return Status::InvalidArgument("node_group size mismatch");
+  }
+  if (!highlight.empty() && highlight.size() != g.NumNodes()) {
+    return Status::InvalidArgument("highlight size mismatch");
+  }
+  static const char* kPalette[] = {"lightblue", "lightsalmon", "palegreen",
+                                   "plum",      "khaki",       "lightcyan",
+                                   "mistyrose", "wheat"};
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "digraph G {\n  node [style=filled];\n";
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    out << "  n" << v << " [";
+    if (!node_group.empty()) {
+      const int group = node_group[v];
+      const char* color =
+          group >= 0 ? kPalette[group % 8] : "white";
+      out << "fillcolor=" << color << ", ";
+    }
+    if (!highlight.empty() && highlight[v]) out << "shape=doublecircle, ";
+    if (g.has_coordinates()) {
+      const Point& p = g.coordinate(v);
+      out << "pos=\"" << p.x * 10 << "," << p.y * 10 << "!\", ";
+    }
+    out << "label=\"" << v << "\"];\n";
+  }
+  for (const Edge& e : g.edges()) {
+    // Render symmetric pairs once, as an undirected-looking edge.
+    if (e.dst < e.src) continue;
+    out << "  n" << e.src << " -> n" << e.dst << " [dir=none];\n";
+  }
+  out << "}\n";
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace tcf

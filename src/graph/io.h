@@ -1,0 +1,33 @@
+// Plain-text persistence for graphs and Graphviz export for inspecting
+// fragmentations by eye (every figure in the paper is a drawing of a
+// fragmented graph; WriteDot regenerates that kind of picture).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace tcf {
+
+/// Writes a graph in the tcf edge-list format:
+///
+///   tcf-graph 1
+///   <num_nodes> <num_edges> <has_coords: 0|1>
+///   [x y]              (one line per node, if has_coords)
+///   <src> <dst> <weight>   (one line per edge)
+Status WriteEdgeList(const Graph& g, const std::string& path);
+
+/// Reads the format written by WriteEdgeList.
+Result<Graph> ReadEdgeList(const std::string& path);
+
+/// Graphviz export. If `node_group` is non-empty (size = num nodes) the
+/// nodes are colored by group — pass a fragmentation's node->fragment map
+/// to visualize fragments and disconnection sets (nodes in >1 fragment are
+/// drawn as doublecircles).
+Status WriteDot(const Graph& g, const std::string& path,
+                const std::vector<int>& node_group = {},
+                const std::vector<bool>& highlight = {});
+
+}  // namespace tcf

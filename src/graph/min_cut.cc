@@ -1,0 +1,135 @@
+#include "graph/min_cut.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace tcf {
+
+namespace {
+
+// Unit-capacity flow network for vertex cuts: every node v becomes
+// v_in -> v_out with capacity 1 (except s and t, capacity inf); every
+// undirected edge {u, v} becomes u_out -> v_in and v_out -> u_in with
+// capacity inf. Max flow == min number of interior nodes whose removal
+// disconnects s from t.
+struct FlowNetwork {
+  struct Arc {
+    int to;
+    int cap;
+    size_t rev;  // index of the reverse arc in adj[to]
+  };
+
+  explicit FlowNetwork(size_t num_vertices) : adj(num_vertices) {}
+
+  void AddArc(int from, int to, int cap) {
+    adj[from].push_back({to, cap, adj[to].size()});
+    adj[to].push_back({from, 0, adj[from].size() - 1});
+  }
+
+  // Edmonds–Karp; capacities here are tiny (<= n), so this is plenty fast.
+  int MaxFlow(int s, int t) {
+    int flow = 0;
+    while (true) {
+      std::vector<std::pair<int, size_t>> pred(adj.size(), {-1, 0});
+      std::queue<int> frontier;
+      pred[s] = {s, 0};
+      frontier.push(s);
+      while (!frontier.empty() && pred[t].first < 0) {
+        int v = frontier.front();
+        frontier.pop();
+        for (size_t i = 0; i < adj[v].size(); ++i) {
+          const Arc& a = adj[v][i];
+          if (a.cap > 0 && pred[a.to].first < 0) {
+            pred[a.to] = {v, i};
+            frontier.push(a.to);
+          }
+        }
+      }
+      if (pred[t].first < 0) return flow;
+      // Augment by 1 along the path (unit capacities on node arcs).
+      for (int v = t; v != s;) {
+        auto [u, i] = pred[v];
+        Arc& a = adj[u][i];
+        a.cap -= 1;
+        adj[a.to][a.rev].cap += 1;
+        v = u;
+      }
+      ++flow;
+    }
+  }
+
+  std::vector<std::vector<Arc>> adj;
+};
+
+constexpr int kInfCap = 1 << 28;
+
+}  // namespace
+
+VertexCut MinVertexCut(const Graph& g, NodeId s, NodeId t) {
+  TCF_CHECK(s < g.NumNodes() && t < g.NumNodes() && s != t);
+  const size_t n = g.NumNodes();
+  // Vertex ids: v_in = 2v, v_out = 2v + 1.
+  FlowNetwork net(2 * n);
+  for (NodeId v = 0; v < n; ++v) {
+    const int cap = (v == s || v == t) ? kInfCap : 1;
+    net.AddArc(static_cast<int>(2 * v), static_cast<int>(2 * v + 1), cap);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : g.UndirectedNeighbors(v)) {
+      // Skip the direct s-t edge so an interior cut can exist.
+      if ((v == s && w == t) || (v == t && w == s)) continue;
+      net.AddArc(static_cast<int>(2 * v + 1), static_cast<int>(2 * w),
+                 kInfCap);
+    }
+  }
+  VertexCut cut;
+  cut.size = net.MaxFlow(static_cast<int>(2 * s), static_cast<int>(2 * t + 1));
+  if (cut.size == 0 || cut.size >= kInfCap) return cut;
+
+  // Cut nodes: saturated node arcs reachable-in / unreachable-out in the
+  // residual network.
+  std::vector<char> reachable(2 * n, 0);
+  std::queue<int> frontier;
+  reachable[2 * s] = 1;
+  frontier.push(static_cast<int>(2 * s));
+  while (!frontier.empty()) {
+    int v = frontier.front();
+    frontier.pop();
+    for (const auto& arc : net.adj[v]) {
+      if (arc.cap > 0 && !reachable[arc.to]) {
+        reachable[arc.to] = 1;
+        frontier.push(arc.to);
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == s || v == t) continue;
+    if (reachable[2 * v] && !reachable[2 * v + 1]) cut.nodes.push_back(v);
+  }
+  return cut;
+}
+
+int VertexConnectivity(const Graph& g) {
+  const size_t n = g.NumNodes();
+  if (n < 2) return 0;
+  // Pick a minimum-undirected-degree node s.
+  NodeId s = 0;
+  for (NodeId v = 1; v < n; ++v) {
+    if (g.UndirectedDegree(v) < g.UndirectedDegree(s)) s = v;
+  }
+  int best = static_cast<int>(n) - 1;
+  auto consider = [&](NodeId a, NodeId b) {
+    if (a == b) return;
+    auto nbrs = g.UndirectedNeighbors(a);
+    if (std::binary_search(nbrs.begin(), nbrs.end(), b)) return;
+    best = std::min(best, MinVertexCut(g, a, b).size);
+  };
+  for (NodeId t = 0; t < n; ++t) consider(s, t);
+  for (NodeId w : g.UndirectedNeighbors(s)) {
+    for (NodeId t = 0; t < n; ++t) consider(w, t);
+  }
+  // Fully connected graphs: connectivity is n-1 by convention.
+  return best;
+}
+
+}  // namespace tcf

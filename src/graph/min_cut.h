@@ -1,0 +1,38 @@
+// Vertex connectivity machinery for the k-connectivity discussion of Sec. 3:
+// the authors' first idea was to mark as 'relevant' the nodes whose removal
+// decreases the connectivity of the graph, and to build disconnection sets
+// from them. They abandoned it (cycles through other fragments distort the
+// measure, and it is expensive); we implement it both as an ablation
+// (fragment/relevant_nodes.*) and because minimum vertex cuts are a natural
+// quality oracle for disconnection sets.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tcf {
+
+/// Result of a minimum s-t vertex cut computation.
+struct VertexCut {
+  /// Size of the cut == max number of internally node-disjoint s-t paths
+  /// (Menger). 0 means s cannot reach t at all; kNoCut means every path is
+  /// the direct edge (s, t) and no interior cut exists.
+  int size = 0;
+  /// The cut nodes (excluding s and t). Empty when size == 0.
+  std::vector<NodeId> nodes;
+};
+
+/// Minimum s-t vertex cut in the *undirected* view of g, via node-split
+/// max-flow (unit capacities, BFS augmentation). s and t must differ.
+/// If the edge (s, t) exists the cut is reported for the graph without that
+/// edge (the classic convention; otherwise no finite cut exists).
+VertexCut MinVertexCut(const Graph& g, NodeId s, NodeId t);
+
+/// Global vertex connectivity: min over MinVertexCut(s, t) for non-adjacent
+/// pairs, using the standard neighborhood trick (s fixed to a minimum-degree
+/// node plus its neighbors). O(n) max-flow runs; intended for the small
+/// experiment graphs.
+int VertexConnectivity(const Graph& g);
+
+}  // namespace tcf

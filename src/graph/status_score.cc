@@ -1,0 +1,60 @@
+#include "graph/status_score.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace tcf {
+
+std::vector<double> StatusScores(const Graph& g,
+                                 const StatusScoreOptions& options) {
+  TCF_CHECK_MSG(options.alpha < 1.0 && options.alpha >= 0.0,
+                "status score requires 0 <= a < 1");
+  TCF_CHECK(options.depth >= 0);
+  const size_t n = g.NumNodes();
+  std::vector<double> scores(n, 0.0);
+
+  // Depth-bounded BFS from each node; rings weighted by a^d.
+  std::vector<int> dist(n, -1);
+  std::vector<NodeId> touched;
+  for (NodeId i = 0; i < n; ++i) {
+    double score = static_cast<double>(g.Grade(i));
+    double weight = 1.0;
+    touched.clear();
+    dist[i] = 0;
+    touched.push_back(i);
+    std::vector<NodeId> ring = {i};
+    for (int d = 1; d <= options.depth && !ring.empty(); ++d) {
+      weight *= options.alpha;
+      std::vector<NodeId> next;
+      for (NodeId v : ring) {
+        for (NodeId w : g.UndirectedNeighbors(v)) {
+          if (dist[w] < 0) {
+            dist[w] = d;
+            touched.push_back(w);
+            next.push_back(w);
+            score += weight * static_cast<double>(g.Grade(w));
+          }
+        }
+      }
+      ring = std::move(next);
+    }
+    for (NodeId v : touched) dist[v] = -1;
+    scores[i] = score;
+  }
+  return scores;
+}
+
+std::vector<NodeId> TopStatusNodes(const Graph& g, size_t count,
+                                   const StatusScoreOptions& options) {
+  std::vector<double> scores = StatusScores(g, options);
+  std::vector<NodeId> order(g.NumNodes());
+  for (NodeId i = 0; i < g.NumNodes(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  if (order.size() > count) order.resize(count);
+  return order;
+}
+
+}  // namespace tcf

@@ -1,0 +1,35 @@
+// The center-selection weight function of Sec. 3.1, a variation of Hoede's
+// status score [9]:
+//
+//   score(i) = grade(i) + a * sum_{j at 1 edge} grade(j)
+//                       + a^2 * sum_{j at 2 edges} grade(j)
+//                       + a^3 * sum_{j at 3 edges} grade(j)
+//
+// with a < 1. Nodes with high scores are "gravity points" of the graph,
+// "very much like spiders in a web".
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tcf {
+
+struct StatusScoreOptions {
+  /// Attenuation factor a (< 1).
+  double alpha = 0.5;
+  /// Horizon: how many BFS rings contribute (the paper uses 3).
+  int depth = 3;
+};
+
+/// Status score per node. Distances are undirected hop counts; grade is the
+/// number of adjacent edge tuples (paper's grade(i)).
+std::vector<double> StatusScores(const Graph& g,
+                                 const StatusScoreOptions& options = {});
+
+/// Indices of the `count` nodes with the highest status score
+/// (ties broken by node id for determinism), best first.
+std::vector<NodeId> TopStatusNodes(const Graph& g, size_t count,
+                                   const StatusScoreOptions& options = {});
+
+}  // namespace tcf

@@ -1,0 +1,129 @@
+#include "relational/operators.h"
+
+#include <unordered_map>
+
+namespace tcf {
+
+Relation SelectBySrc(const Relation& r, const NodeSet& set) {
+  Relation out;
+  for (const PathTuple& t : r.tuples()) {
+    if (set.count(t.src)) out.Add(t);
+  }
+  return out;
+}
+
+Relation SelectByDst(const Relation& r, const NodeSet& set) {
+  Relation out;
+  for (const PathTuple& t : r.tuples()) {
+    if (set.count(t.dst)) out.Add(t);
+  }
+  return out;
+}
+
+Relation Select(const Relation& r,
+                const std::function<bool(const PathTuple&)>& pred) {
+  Relation out;
+  for (const PathTuple& t : r.tuples()) {
+    if (pred(t)) out.Add(t);
+  }
+  return out;
+}
+
+Relation JoinMinPlus(const Relation& left, const Relation& right,
+                     size_t* join_tuples_out) {
+  // Hash the smaller-by-convention right side on src.
+  std::unordered_map<NodeId, std::vector<const PathTuple*>> index;
+  index.reserve(right.size());
+  for (const PathTuple& t : right.tuples()) {
+    index[t.src].push_back(&t);
+  }
+  size_t join_tuples = 0;
+  std::unordered_map<uint64_t, Weight> best;
+  for (const PathTuple& l : left.tuples()) {
+    auto it = index.find(l.dst);
+    if (it == index.end()) continue;
+    for (const PathTuple* r : it->second) {
+      ++join_tuples;
+      const uint64_t key = PairKey(l.src, r->dst);
+      const Weight cost = l.cost + r->cost;
+      auto [slot, inserted] = best.emplace(key, cost);
+      if (!inserted && cost < slot->second) slot->second = cost;
+    }
+  }
+  if (join_tuples_out != nullptr) *join_tuples_out = join_tuples;
+  Relation out;
+  out.mutable_tuples().reserve(best.size());
+  for (const auto& [key, cost] : best) {
+    out.Add(static_cast<NodeId>(key >> 32),
+            static_cast<NodeId>(key & 0xffffffffu), cost);
+  }
+  return out;
+}
+
+Relation JoinMaxMin(const Relation& left, const Relation& right,
+                    size_t* join_tuples_out) {
+  std::unordered_map<NodeId, std::vector<const PathTuple*>> index;
+  index.reserve(right.size());
+  for (const PathTuple& t : right.tuples()) {
+    index[t.src].push_back(&t);
+  }
+  size_t join_tuples = 0;
+  std::unordered_map<uint64_t, Weight> best;
+  for (const PathTuple& l : left.tuples()) {
+    auto it = index.find(l.dst);
+    if (it == index.end()) continue;
+    for (const PathTuple* r : it->second) {
+      ++join_tuples;
+      const uint64_t key = PairKey(l.src, r->dst);
+      const Weight capacity = std::min(l.cost, r->cost);
+      auto [slot, inserted] = best.emplace(key, capacity);
+      if (!inserted && capacity > slot->second) slot->second = capacity;
+    }
+  }
+  if (join_tuples_out != nullptr) *join_tuples_out = join_tuples;
+  Relation out;
+  for (const auto& [key, capacity] : best) {
+    out.Add(static_cast<NodeId>(key >> 32),
+            static_cast<NodeId>(key & 0xffffffffu), capacity);
+  }
+  return out;
+}
+
+Relation UnionMin(const Relation& a, const Relation& b) {
+  Relation out = a;
+  out.Append(b);
+  out.AggregateMin();
+  return out;
+}
+
+Relation UnionMax(const Relation& a, const Relation& b) {
+  Relation out = a;
+  out.Append(b);
+  out.AggregateMax();
+  return out;
+}
+
+Relation ImprovingTuples(const Relation& candidate, const Relation& best,
+                         bool min_plus) {
+  Relation out;
+  for (const PathTuple& t : candidate.tuples()) {
+    const Weight current = best.BestCost(t.src, t.dst);
+    const bool improves =
+        min_plus ? (t.cost < current) : (current == kInfinity);
+    if (improves) out.Add(t);
+  }
+  // The candidate may itself contain several tuples per pair; keep the best.
+  out.AggregateMin();
+  return out;
+}
+
+Relation ImprovingTuplesMax(const Relation& candidate, const Relation& best) {
+  Relation out;
+  for (const PathTuple& t : candidate.tuples()) {
+    if (t.cost > best.MaxCost(t.src, t.dst)) out.Add(t);
+  }
+  out.AggregateMax();
+  return out;
+}
+
+}  // namespace tcf

@@ -1,0 +1,119 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tcf {
+
+Relation Relation::FromGraph(const Graph& g) {
+  Relation r;
+  r.tuples_.reserve(g.NumEdges());
+  for (const Edge& e : g.edges()) r.Add(e.src, e.dst, e.weight);
+  return r;
+}
+
+Relation Relation::FromEdgeSubset(const Graph& g,
+                                  const std::vector<EdgeId>& edge_ids) {
+  Relation r;
+  r.tuples_.reserve(edge_ids.size());
+  for (EdgeId id : edge_ids) {
+    const Edge& e = g.edge(id);
+    r.Add(e.src, e.dst, e.weight);
+  }
+  return r;
+}
+
+void Relation::AggregateMin() {
+  std::unordered_map<uint64_t, Weight> best;
+  best.reserve(tuples_.size());
+  for (const PathTuple& t : tuples_) {
+    auto [it, inserted] = best.emplace(PairKey(t.src, t.dst), t.cost);
+    if (!inserted && t.cost < it->second) it->second = t.cost;
+  }
+  tuples_.clear();
+  tuples_.reserve(best.size());
+  for (const auto& [key, cost] : best) {
+    tuples_.push_back(PathTuple{static_cast<NodeId>(key >> 32),
+                                static_cast<NodeId>(key & 0xffffffffu),
+                                cost});
+  }
+  index_valid_ = false;
+  max_index_valid_ = false;
+}
+
+void Relation::AggregateMax() {
+  std::unordered_map<uint64_t, Weight> best;
+  best.reserve(tuples_.size());
+  for (const PathTuple& t : tuples_) {
+    auto [it, inserted] = best.emplace(PairKey(t.src, t.dst), t.cost);
+    if (!inserted && t.cost > it->second) it->second = t.cost;
+  }
+  tuples_.clear();
+  tuples_.reserve(best.size());
+  for (const auto& [key, cost] : best) {
+    tuples_.push_back(PathTuple{static_cast<NodeId>(key >> 32),
+                                static_cast<NodeId>(key & 0xffffffffu),
+                                cost});
+  }
+  index_valid_ = false;
+  max_index_valid_ = false;
+}
+
+void Relation::SortCanonical() {
+  std::sort(tuples_.begin(), tuples_.end(),
+            [](const PathTuple& a, const PathTuple& b) {
+              if (a.src != b.src) return a.src < b.src;
+              if (a.dst != b.dst) return a.dst < b.dst;
+              return a.cost < b.cost;
+            });
+}
+
+void Relation::EnsureIndex() const {
+  if (index_valid_) return;
+  index_.clear();
+  index_.reserve(tuples_.size());
+  for (const PathTuple& t : tuples_) {
+    auto [it, inserted] = index_.emplace(PairKey(t.src, t.dst), t.cost);
+    if (!inserted && t.cost < it->second) it->second = t.cost;
+  }
+  index_valid_ = true;
+}
+
+Weight Relation::BestCost(NodeId src, NodeId dst) const {
+  EnsureIndex();
+  auto it = index_.find(PairKey(src, dst));
+  return it == index_.end() ? kInfinity : it->second;
+}
+
+void Relation::EnsureMaxIndex() const {
+  if (max_index_valid_) return;
+  max_index_.clear();
+  max_index_.reserve(tuples_.size());
+  for (const PathTuple& t : tuples_) {
+    auto [it, inserted] = max_index_.emplace(PairKey(t.src, t.dst), t.cost);
+    if (!inserted && t.cost > it->second) it->second = t.cost;
+  }
+  max_index_valid_ = true;
+}
+
+Weight Relation::MaxCost(NodeId src, NodeId dst) const {
+  EnsureMaxIndex();
+  auto it = max_index_.find(PairKey(src, dst));
+  return it == max_index_.end() ? 0.0 : it->second;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << "Relation(" << tuples_.size() << " tuples)";
+  size_t shown = 0;
+  for (const PathTuple& t : tuples_) {
+    if (shown++ == max_rows) {
+      os << "\n  ...";
+      break;
+    }
+    os << "\n  (" << t.src << " -> " << t.dst << ", " << t.cost << ")";
+  }
+  return os.str();
+}
+
+}  // namespace tcf

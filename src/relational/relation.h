@@ -1,0 +1,105 @@
+// The relational view of the problem: the connection network is a relation
+// R(src, dst, cost); transitive closure queries are evaluated by iterated
+// relational joins (Sec. 2.1 "a relational join between intermediate result
+// and the relation modeling the graph").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tcf {
+
+/// One tuple of a path relation: a witnessed path src -> dst of cost `cost`.
+struct PathTuple {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Weight cost = 0.0;
+
+  bool operator==(const PathTuple& other) const = default;
+};
+
+/// Packs (src, dst) into a 64-bit hash key.
+inline uint64_t PairKey(NodeId src, NodeId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+
+/// A bag of path tuples with helpers for the aggregation the transitive
+/// closure engine needs (keep the cheapest tuple per (src, dst) pair).
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::vector<PathTuple> tuples)
+      : tuples_(std::move(tuples)) {}
+
+  /// Base relation of a whole graph: one tuple per edge.
+  static Relation FromGraph(const Graph& g);
+  /// Base relation of an edge subset (a fragment R_i).
+  static Relation FromEdgeSubset(const Graph& g,
+                                 const std::vector<EdgeId>& edge_ids);
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const std::vector<PathTuple>& tuples() const { return tuples_; }
+  std::vector<PathTuple>& mutable_tuples() {
+    InvalidateIndexes();
+    return tuples_;
+  }
+
+  void Add(PathTuple t) {
+    InvalidateIndexes();
+    tuples_.push_back(t);
+  }
+  void Add(NodeId src, NodeId dst, Weight cost) {
+    Add(PathTuple{src, dst, cost});
+  }
+  void Append(const Relation& other) {
+    InvalidateIndexes();
+    tuples_.insert(tuples_.end(), other.tuples_.begin(),
+                   other.tuples_.end());
+  }
+  void Clear() {
+    InvalidateIndexes();
+    tuples_.clear();
+  }
+
+  /// Collapse duplicates: keep the minimum cost per (src, dst).
+  void AggregateMin();
+  /// Collapse duplicates: keep the maximum cost per (src, dst) — the
+  /// aggregation of the bottleneck (max-min capacity) semiring.
+  void AggregateMax();
+
+  /// Deterministic order (src, dst, cost) — used by tests and printers.
+  void SortCanonical();
+
+  /// Lookup the best (minimum) cost for (src, dst); kInfinity if absent.
+  /// Builds a hash index on first use; invalidated by any mutation after
+  /// that.
+  Weight BestCost(NodeId src, NodeId dst) const;
+  /// Lookup the best (maximum) capacity for (src, dst); 0 if absent.
+  Weight MaxCost(NodeId src, NodeId dst) const;
+  bool Contains(NodeId src, NodeId dst) const {
+    return BestCost(src, dst) != kInfinity;
+  }
+
+  std::string ToString(size_t max_rows = 32) const;
+
+ private:
+  void InvalidateIndexes() {
+    index_valid_ = false;
+    max_index_valid_ = false;
+  }
+  void EnsureIndex() const;
+  void EnsureMaxIndex() const;
+
+  std::vector<PathTuple> tuples_;
+  mutable std::unordered_map<uint64_t, Weight> index_;
+  mutable bool index_valid_ = false;
+  mutable std::unordered_map<uint64_t, Weight> max_index_;
+  mutable bool max_index_valid_ = false;
+};
+
+}  // namespace tcf

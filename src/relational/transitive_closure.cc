@@ -1,0 +1,153 @@
+#include "relational/transitive_closure.h"
+
+#include "util/status.h"
+
+namespace tcf {
+
+namespace {
+
+bool IsMinPlus(const TcOptions& options) {
+  return options.semiring == TcSemiring::kMinPlus;
+}
+
+bool IsBottleneck(const TcOptions& options) {
+  return options.semiring == TcSemiring::kBottleneck;
+}
+
+/// Semiring-dispatched physical operators.
+Relation Compose(const Relation& left, const Relation& right,
+                 const TcOptions& options, size_t* join_tuples) {
+  return IsBottleneck(options) ? JoinMaxMin(left, right, join_tuples)
+                               : JoinMinPlus(left, right, join_tuples);
+}
+
+Relation UnionBest(const Relation& a, const Relation& b,
+                   const TcOptions& options) {
+  return IsBottleneck(options) ? UnionMax(a, b) : UnionMin(a, b);
+}
+
+Relation Improving(const Relation& candidate, const Relation& best,
+                   const TcOptions& options) {
+  return IsBottleneck(options) ? ImprovingTuplesMax(candidate, best)
+                               : ImprovingTuples(candidate, best,
+                                                 IsMinPlus(options));
+}
+
+void Aggregate(Relation* r, const TcOptions& options) {
+  if (IsBottleneck(options)) {
+    r->AggregateMax();
+  } else {
+    r->AggregateMin();
+  }
+}
+
+Relation RestrictSources(const Relation& base, const TcOptions& options) {
+  if (!options.sources.has_value()) return base;
+  return SelectBySrc(base, *options.sources);
+}
+
+Relation FilterTargets(Relation result, const TcOptions& options) {
+  if (!options.targets.has_value()) return result;
+  return SelectByDst(result, *options.targets);
+}
+
+/// Semi-naive: delta_{k+1} = improving(delta_k ⋈ R); closure accumulates.
+Relation SemiNaive(const Relation& base, const TcOptions& options,
+                   TcStats* stats) {
+  Relation closure = RestrictSources(base, options);
+  Aggregate(&closure, options);
+  Relation delta = closure;
+  while (!delta.empty()) {
+    TCF_CHECK_MSG(stats->iterations < options.max_iterations,
+                  "semi-naive TC did not converge (negative cycle?)");
+    ++stats->iterations;
+    size_t join_tuples = 0;
+    Relation candidate = Compose(delta, base, options, &join_tuples);
+    stats->join_tuples += join_tuples;
+    delta = Improving(candidate, closure, options);
+    stats->tuples_produced += delta.size();
+    stats->max_delta_size = std::max(stats->max_delta_size, delta.size());
+    if (delta.empty()) break;
+    closure = UnionBest(closure, delta, options);
+  }
+  return closure;
+}
+
+/// Naive: closure_{k+1} = closure_k ∪ (closure_k ⋈ R), re-deriving
+/// everything every round. Kept as the baseline of wasted work.
+Relation Naive(const Relation& base, const TcOptions& options,
+               TcStats* stats) {
+  Relation closure = RestrictSources(base, options);
+  Aggregate(&closure, options);
+  while (true) {
+    TCF_CHECK_MSG(stats->iterations < options.max_iterations,
+                  "naive TC did not converge (negative cycle?)");
+    ++stats->iterations;
+    size_t join_tuples = 0;
+    Relation candidate = Compose(closure, base, options, &join_tuples);
+    stats->join_tuples += join_tuples;
+    Relation improvement = Improving(candidate, closure, options);
+    stats->tuples_produced += improvement.size();
+    stats->max_delta_size =
+        std::max(stats->max_delta_size, improvement.size());
+    if (improvement.empty()) break;
+    closure = UnionBest(closure, improvement, options);
+  }
+  return closure;
+}
+
+/// Smart / squaring: T_{k+1} = T_k ∪ (T_k ⋈ T_k); path length doubles each
+/// round, so rounds ~ log2(diameter). Incompatible with a source
+/// restriction (the right operand must contain all paths), so the
+/// restriction is applied to the final result instead.
+Relation Smart(const Relation& base, const TcOptions& options,
+               TcStats* stats) {
+  Relation closure = base;
+  Aggregate(&closure, options);
+  while (true) {
+    TCF_CHECK_MSG(stats->iterations < options.max_iterations,
+                  "smart TC did not converge (negative cycle?)");
+    ++stats->iterations;
+    size_t join_tuples = 0;
+    Relation candidate = Compose(closure, closure, options, &join_tuples);
+    stats->join_tuples += join_tuples;
+    Relation improvement = Improving(candidate, closure, options);
+    stats->tuples_produced += improvement.size();
+    stats->max_delta_size =
+        std::max(stats->max_delta_size, improvement.size());
+    if (improvement.empty()) break;
+    closure = UnionBest(closure, improvement, options);
+  }
+  if (options.sources.has_value()) {
+    closure = SelectBySrc(closure, *options.sources);
+  }
+  return closure;
+}
+
+}  // namespace
+
+Relation TransitiveClosure(const Relation& base, const TcOptions& options,
+                           TcStats* stats) {
+  TcStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = TcStats{};
+
+  Relation result;
+  switch (options.algorithm) {
+    case TcAlgorithm::kSemiNaive:
+      result = SemiNaive(base, options, stats);
+      break;
+    case TcAlgorithm::kNaive:
+      result = Naive(base, options, stats);
+      break;
+    case TcAlgorithm::kSmart:
+      result = Smart(base, options, stats);
+      break;
+  }
+  result = FilterTargets(std::move(result), options);
+  result.SortCanonical();
+  stats->result_size = result.size();
+  return result;
+}
+
+}  // namespace tcf

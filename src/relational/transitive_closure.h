@@ -1,0 +1,67 @@
+// Transitive closure strategies over path relations.
+//
+// Three classic single-site algorithms are provided — naive, semi-naive
+// (delta) iteration, and "smart" logarithmic squaring — in two semirings:
+// reachability (is there a path?) and min-plus (what is the cheapest
+// path?). Each run reports the statistics the paper's performance model is
+// built on: the number of iterations (driven by the diameter, Sec. 2.1) and
+// the intermediate result sizes (driven by connectivity, Sec. 2.2).
+//
+// Source and target selections implement the "keyhole" role of the
+// disconnection sets: the DSA evaluates, inside one fragment, only paths
+// that depart from a disconnection set (or the query constant) and reports
+// only those arriving in the next disconnection set.
+#pragma once
+
+#include <optional>
+
+#include "relational/operators.h"
+#include "relational/relation.h"
+
+namespace tcf {
+
+enum class TcAlgorithm {
+  kNaive,     // full re-join of the closure with R each round
+  kSemiNaive, // join only the delta with R
+  kSmart      // squaring: closure doubles path length per round
+};
+
+enum class TcSemiring {
+  kReachability,  // fixpoint on pair existence
+  kMinPlus,       // fixpoint on minimal cost per pair
+  kBottleneck     // fixpoint on maximal min-edge capacity per pair
+                  // (requires strictly positive edge weights)
+};
+
+struct TcOptions {
+  TcAlgorithm algorithm = TcAlgorithm::kSemiNaive;
+  TcSemiring semiring = TcSemiring::kMinPlus;
+
+  /// If set, only paths starting at these nodes are derived (selection
+  /// pushed into the iteration — the magic-cone restriction).
+  std::optional<NodeSet> sources;
+  /// If set, the *result* is filtered to these destinations (the iteration
+  /// must still expand through intermediate nodes).
+  std::optional<NodeSet> targets;
+
+  /// Safety valve for malformed inputs (e.g. negative cycles in min-plus).
+  size_t max_iterations = 1u << 20;
+};
+
+/// Execution statistics for one closure computation.
+struct TcStats {
+  size_t iterations = 0;          // number of fixpoint rounds
+  size_t join_tuples = 0;         // total pre-aggregation join output
+  size_t tuples_produced = 0;     // total delta tuples admitted
+  size_t max_delta_size = 0;      // largest delta relation
+  size_t result_size = 0;         // final closure cardinality
+};
+
+/// Computes the transitive closure of `base` (paths of length >= 1).
+/// Returns one tuple per reachable (src, dst) pair — with minimal cost in
+/// the min-plus semiring, with the cost of *some* witness path (hop-minimal
+/// not guaranteed) under reachability.
+Relation TransitiveClosure(const Relation& base, const TcOptions& options = {},
+                           TcStats* stats = nullptr);
+
+}  // namespace tcf

@@ -1,0 +1,44 @@
+#include "relational/warshall.h"
+
+#include <bit>
+
+#include "util/status.h"
+
+namespace tcf {
+
+ReachabilityMatrix::ReachabilityMatrix(size_t n)
+    : n_(n), rows_(n * Words(), 0) {}
+
+bool ReachabilityMatrix::Get(NodeId from, NodeId to) const {
+  TCF_CHECK(from < n_ && to < n_);
+  return (rows_[from * Words() + to / 64] >> (to % 64)) & 1;
+}
+
+void ReachabilityMatrix::Set(NodeId from, NodeId to) {
+  TCF_CHECK(from < n_ && to < n_);
+  rows_[from * Words() + to / 64] |= uint64_t{1} << (to % 64);
+}
+
+size_t ReachabilityMatrix::CountReachablePairs() const {
+  size_t count = 0;
+  for (uint64_t w : rows_) count += std::popcount(w);
+  return count;
+}
+
+ReachabilityMatrix WarshallClosure(const Graph& g) {
+  const size_t n = g.NumNodes();
+  ReachabilityMatrix m(n);
+  for (const Edge& e : g.edges()) m.Set(e.src, e.dst);
+  const size_t words = m.Words();
+  for (size_t k = 0; k < n; ++k) {
+    const uint64_t* row_k = m.rows_.data() + k * words;
+    for (size_t i = 0; i < n; ++i) {
+      if (!m.Get(static_cast<NodeId>(i), static_cast<NodeId>(k))) continue;
+      uint64_t* row_i = m.rows_.data() + i * words;
+      for (size_t w = 0; w < words; ++w) row_i[w] |= row_k[w];
+    }
+  }
+  return m;
+}
+
+}  // namespace tcf

@@ -1,0 +1,66 @@
+#include "util/bit_matrix.h"
+
+#include <bit>
+
+#include "util/status.h"
+
+namespace tcf {
+
+BitMatrix::BitMatrix(size_t n) : n_(n), cols_(n * WordsPerRow(), 0) {}
+
+void BitMatrix::Set(size_t row, size_t col, bool value) {
+  TCF_CHECK(row < n_ && col < n_);
+  uint64_t& word = cols_[col * WordsPerRow() + row / 64];
+  const uint64_t mask = uint64_t{1} << (row % 64);
+  if (value) {
+    word |= mask;
+  } else {
+    word &= ~mask;
+  }
+}
+
+bool BitMatrix::Get(size_t row, size_t col) const {
+  TCF_CHECK(row < n_ && col < n_);
+  const uint64_t word = cols_[col * WordsPerRow() + row / 64];
+  return (word >> (row % 64)) & 1;
+}
+
+size_t BitMatrix::CountOnes() const {
+  size_t total = 0;
+  for (uint64_t w : cols_) total += std::popcount(w);
+  return total;
+}
+
+size_t BitMatrix::ColumnOnes(size_t col) const {
+  TCF_CHECK(col < n_);
+  size_t total = 0;
+  const size_t words = WordsPerRow();
+  for (size_t w = 0; w < words; ++w) {
+    total += std::popcount(cols_[col * words + w]);
+  }
+  return total;
+}
+
+size_t BitMatrix::ColumnInnerProduct(size_t a, size_t b) const {
+  TCF_CHECK(a < n_ && b < n_);
+  size_t total = 0;
+  const size_t words = WordsPerRow();
+  const uint64_t* ca = cols_.data() + a * words;
+  const uint64_t* cb = cols_.data() + b * words;
+  for (size_t w = 0; w < words; ++w) {
+    total += std::popcount(ca[w] & cb[w]);
+  }
+  return total;
+}
+
+std::string BitMatrix::ToString() const {
+  std::string out;
+  out.reserve(n_ * (n_ + 1));
+  for (size_t r = 0; r < n_; ++r) {
+    for (size_t c = 0; c < n_; ++c) out += Get(r, c) ? '1' : '0';
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tcf

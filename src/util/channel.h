@@ -1,0 +1,79 @@
+// A blocking MPMC channel — the message-passing primitive of the
+// distributed-site simulation (dsa/sites.h). Modeled after Go channels:
+// senders never block (unbounded queue), receivers block until a message
+// or close; Receive returns nullopt once the channel is closed and
+// drained.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace tcf {
+
+template <typename T>
+class Channel {
+ public:
+  Channel() = default;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueue a message. Returns false if the channel was already closed
+  /// (the message is dropped).
+  bool Send(T message) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(message));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block until a message arrives or the channel is closed and empty.
+  std::optional<T> Receive() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this]() { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  /// Non-blocking receive; nullopt when nothing is queued right now.
+  std::optional<T> TryReceive() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  /// Closes the channel; pending messages remain receivable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace tcf

@@ -1,0 +1,43 @@
+// Minimal leveled logger. Benchmarks and examples log progress at Info;
+// library internals log at Debug and are silent by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tcf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style one-shot log emitter; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tcf
+
+#define TCF_LOG(level) \
+  ::tcf::internal::LogMessage(::tcf::LogLevel::k##level, __FILE__, __LINE__)

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation. All experiments in the
+// benchmark harness are seeded, so every table in EXPERIMENTS.md is exactly
+// reproducible run-to-run and machine-to-machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tcf {
+
+/// xoshiro256++ generator seeded via SplitMix64. Deterministic across
+/// platforms (unlike std::mt19937 + std::uniform_*_distribution, whose
+/// distributions are implementation-defined).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derive an independent child generator (for per-trial seeding).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace tcf

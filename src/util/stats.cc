@@ -1,0 +1,100 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace tcf {
+
+void Accumulator::Add(double sample) { samples_.push_back(sample); }
+
+void Accumulator::AddAll(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+}
+
+double Accumulator::Sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Accumulator::Mean() const {
+  TCF_CHECK(!samples_.empty());
+  return Sum() / static_cast<double>(samples_.size());
+}
+
+double Accumulator::AvgDeviation() const {
+  TCF_CHECK(!samples_.empty());
+  const double mean = Mean();
+  double dev = 0.0;
+  for (double s : samples_) dev += std::abs(s - mean);
+  return dev / static_cast<double>(samples_.size());
+}
+
+double Accumulator::StdDev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double ss = 0.0;
+  for (double s : samples_) ss += (s - mean) * (s - mean);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double Accumulator::Min() const {
+  TCF_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Accumulator::Max() const {
+  TCF_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  TCF_CHECK_MSG(cells.size() == headers_.size(),
+                "row width " << cells.size() << " != header width "
+                             << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::string rule = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule.append(widths[c] + 2, '-');
+    rule += "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace tcf

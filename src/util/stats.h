@@ -1,0 +1,57 @@
+// Streaming statistics. The paper reports, for each fragmentation
+// characteristic, the average and the *average deviation* (mean absolute
+// deviation from the mean); Accumulator produces both, plus stddev/min/max.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tcf {
+
+/// Collects samples and computes the summary statistics used in Tables 1-3.
+/// Stores the samples (experiment scales are tiny) so the mean absolute
+/// deviation can be computed exactly rather than approximated online.
+class Accumulator {
+ public:
+  void Add(double sample);
+  void AddAll(const std::vector<double>& samples);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Sum() const;
+  double Mean() const;
+  /// Mean absolute deviation from the mean — the paper's "average deviation".
+  double AvgDeviation() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double StdDev() const;
+  double Min() const;
+  double Max() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Fixed-width "paper table" pretty printer used by the bench harness so all
+/// reproduced tables share one look.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Render with column alignment to a string (also usable in tests).
+  std::string ToString() const;
+  /// Render to stdout.
+  void Print() const;
+
+  static std::string Fmt(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tcf

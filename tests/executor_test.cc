@@ -1,0 +1,106 @@
+// Unit tests for the executor layer: RunSites (parallel and sequential),
+// AssembleChain, and the ExecutionReport accounting.
+#include <gtest/gtest.h>
+
+#include "dsa/executor.h"
+#include "graph/builder.h"
+
+namespace tcf {
+namespace {
+
+/// Two-fragment chain 0-1-2 | 2-3-4 (unit weights).
+struct Fixture {
+  Fixture() {
+    GraphBuilder b(5);
+    b.AddSymmetricEdge(0, 1, 1.0);
+    b.AddSymmetricEdge(1, 2, 1.0);
+    b.AddSymmetricEdge(2, 3, 1.0);
+    b.AddSymmetricEdge(3, 4, 1.0);
+    graph = b.Build();
+    frag = std::make_unique<Fragmentation>(
+        &graph, std::vector<FragmentId>{0, 0, 0, 0, 1, 1, 1, 1}, 2);
+    comp = PrecomputeComplementary(*frag);
+  }
+  Graph graph;
+  std::unique_ptr<Fragmentation> frag;
+  ComplementaryInfo comp;
+};
+
+std::vector<LocalQuerySpec> Specs() {
+  return {LocalQuerySpec{0, {0}, {2}}, LocalQuerySpec{1, {2}, {4}}};
+}
+
+TEST(RunSites, SequentialWhenPoolIsNull) {
+  Fixture fx;
+  ExecutionReport report;
+  auto results = RunSites(*fx.frag, &fx.comp, Specs(),
+                          LocalEngine::kDijkstra, nullptr, &report);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[0].paths.BestCost(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(results[1].paths.BestCost(2, 4), 2.0);
+  EXPECT_EQ(report.sites.size(), 2u);
+  EXPECT_EQ(report.communication_tuples, 2u);
+}
+
+TEST(RunSites, ParallelMatchesSequential) {
+  Fixture fx;
+  ThreadPool pool(2);
+  ExecutionReport seq_report, par_report;
+  auto seq = RunSites(*fx.frag, &fx.comp, Specs(), LocalEngine::kDijkstra,
+                      nullptr, &seq_report);
+  auto par = RunSites(*fx.frag, &fx.comp, Specs(), LocalEngine::kDijkstra,
+                      &pool, &par_report);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_EQ(seq[i].paths.size(), par[i].paths.size());
+    for (const PathTuple& t : seq[i].paths.tuples()) {
+      EXPECT_DOUBLE_EQ(par[i].paths.BestCost(t.src, t.dst), t.cost);
+    }
+  }
+  EXPECT_EQ(par_report.communication_tuples,
+            seq_report.communication_tuples);
+}
+
+TEST(RunSites, ReportAggregatesSiteTimes) {
+  Fixture fx;
+  ExecutionReport report;
+  RunSites(*fx.frag, &fx.comp, Specs(), LocalEngine::kSemiNaive, nullptr,
+           &report);
+  EXPECT_GE(report.phase1_cpu_seconds, report.SlowestSiteSeconds());
+  EXPECT_DOUBLE_EQ(report.TotalSiteSeconds(), report.phase1_cpu_seconds);
+  for (const SiteReport& s : report.sites) {
+    EXPECT_GT(s.stats.iterations, 0u);
+  }
+}
+
+TEST(AssembleChain, FoldsMinPlusJoins) {
+  Relation r1, r2, r3;
+  r1.Add(0, 2, 2.0);
+  r2.Add(2, 4, 2.0);
+  r2.Add(2, 5, 9.0);
+  r3.Add(4, 6, 1.0);
+  r3.Add(5, 6, 1.0);
+  ExecutionReport report;
+  Relation out = AssembleChain({&r1, &r2, &r3}, &report);
+  EXPECT_DOUBLE_EQ(out.BestCost(0, 6), 5.0);
+  EXPECT_GT(report.assembly_join_tuples, 0u);
+  EXPECT_GE(report.assembly_seconds, 0.0);
+}
+
+TEST(AssembleChain, SingleHopIsIdentity) {
+  Relation r;
+  r.Add(1, 2, 3.0);
+  Relation out = AssembleChain({&r}, nullptr);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.BestCost(1, 2), 3.0);
+}
+
+TEST(AssembleChain, EmptyHopYieldsEmpty) {
+  Relation r1, empty;
+  r1.Add(0, 2, 2.0);
+  Relation out = AssembleChain({&r1, &empty}, nullptr);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace tcf

@@ -1,0 +1,136 @@
+// Round-trip tests for fragmentation persistence, including cross-checks
+// that a reloaded fragmentation answers queries identically.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dsa/query_api.h"
+#include "fragment/bond_energy.h"
+#include "fragment/fragmentation_io.h"
+#include "graph/builder.h"
+#include "graph/generator.h"
+#include "graph/io.h"
+
+namespace tcf {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(FragmentationIo, RoundTripPreservesEverything) {
+  TransportationGraphOptions gopts;
+  gopts.num_clusters = 3;
+  gopts.nodes_per_cluster = 10;
+  gopts.target_edges_per_cluster = 40;
+  Rng rng(3);
+  auto tg = GenerateTransportationGraph(gopts, &rng);
+  BondEnergyOptions bopts;
+  bopts.num_fragments = 3;
+  Fragmentation frag = BondEnergyFragmentation(tg.graph, bopts);
+
+  const std::string path = TempPath("tcf_frag_roundtrip.frag");
+  ASSERT_TRUE(WriteFragmentation(frag, path).ok());
+  auto loaded = ReadFragmentation(tg.graph, path);
+  ASSERT_TRUE(loaded.ok());
+  const Fragmentation& frag2 = loaded.value();
+  EXPECT_EQ(frag2.NumFragments(), frag.NumFragments());
+  EXPECT_EQ(frag2.fragment_of_edge(), frag.fragment_of_edge());
+  EXPECT_EQ(frag2.disconnection_sets().size(),
+            frag.disconnection_sets().size());
+  for (size_t i = 0; i < frag.disconnection_sets().size(); ++i) {
+    EXPECT_EQ(frag2.disconnection_sets()[i].nodes,
+              frag.disconnection_sets()[i].nodes);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FragmentationIo, FullDeploymentRoundTrip) {
+  // Graph + fragmentation to disk, reload both, query — the DBA workflow.
+  TransportationGraphOptions gopts;
+  gopts.num_clusters = 3;
+  gopts.nodes_per_cluster = 10;
+  gopts.target_edges_per_cluster = 40;
+  Rng rng(7);
+  auto tg = GenerateTransportationGraph(gopts, &rng);
+  BondEnergyOptions bopts;
+  bopts.num_fragments = 3;
+  Fragmentation frag = BondEnergyFragmentation(tg.graph, bopts);
+
+  const std::string gpath = TempPath("tcf_deploy.graph");
+  const std::string fpath = TempPath("tcf_deploy.frag");
+  ASSERT_TRUE(WriteEdgeList(tg.graph, gpath).ok());
+  ASSERT_TRUE(WriteFragmentation(frag, fpath).ok());
+
+  auto graph2 = ReadEdgeList(gpath);
+  ASSERT_TRUE(graph2.ok());
+  auto frag2 = ReadFragmentation(graph2.value(), fpath);
+  ASSERT_TRUE(frag2.ok());
+
+  DsaDatabase original(&frag);
+  DsaDatabase reloaded(&frag2.value());
+  Rng qrng(11);
+  for (int i = 0; i < 8; ++i) {
+    const NodeId s =
+        static_cast<NodeId>(qrng.NextBounded(tg.graph.NumNodes()));
+    const NodeId t =
+        static_cast<NodeId>(qrng.NextBounded(tg.graph.NumNodes()));
+    const Weight a = original.ShortestPath(s, t).cost;
+    const Weight b = reloaded.ShortestPath(s, t).cost;
+    if (a == kInfinity) {
+      EXPECT_EQ(b, kInfinity);
+    } else {
+      EXPECT_NEAR(a, b, 1e-12);
+    }
+  }
+  std::remove(gpath.c_str());
+  std::remove(fpath.c_str());
+}
+
+TEST(FragmentationIo, RejectsWrongGraph) {
+  GraphBuilder b1(3), b2(3);
+  b1.AddEdge(0, 1);
+  b1.AddEdge(1, 2);
+  b2.AddEdge(0, 1);
+  Graph g1 = b1.Build();
+  Graph g2 = b2.Build();
+  Fragmentation frag(&g1, {0, 1}, 2);
+  const std::string path = TempPath("tcf_frag_mismatch.frag");
+  ASSERT_TRUE(WriteFragmentation(frag, path).ok());
+  auto loaded = ReadFragmentation(g2, path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(FragmentationIo, RejectsGarbageAndMissing) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(ReadFragmentation(g, "/does/not/exist.frag").status().code(),
+            StatusCode::kIOError);
+  const std::string path = TempPath("tcf_frag_garbage.frag");
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("hello world\n", f);
+  std::fclose(f);
+  EXPECT_EQ(ReadFragmentation(g, path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(FragmentationIo, RejectsOutOfRangeFragmentId) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  const std::string path = TempPath("tcf_frag_range.frag");
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("tcf-fragmentation 1\n1 2\n7\n", f);
+  std::fclose(f);
+  EXPECT_EQ(ReadFragmentation(g, path).status().code(),
+            StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tcf

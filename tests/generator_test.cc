@@ -1,0 +1,298 @@
+// Tests for the Sec. 4.1 graph generators: coordinate placement, the
+// distance-decay probability function, density calibration against the
+// paper's reported average edge counts, and transportation graph structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/algorithms.h"
+#include "graph/generator.h"
+
+namespace tcf {
+namespace {
+
+// ---------------------------------------------------------------- General
+
+TEST(GeneralGenerator, CoordinatesInsideRegion) {
+  GeneralGraphOptions opts;
+  opts.num_nodes = 50;
+  opts.target_edges = 120;
+  opts.region = Region{2.0, 3.0, 4.0, 5.0};
+  Rng rng(1);
+  Graph g = GenerateGeneralGraph(opts, &rng);
+  ASSERT_TRUE(g.has_coordinates());
+  for (const Point& p : g.coordinates()) {
+    EXPECT_GE(p.x, 2.0);
+    EXPECT_LT(p.x, 4.0);
+    EXPECT_GE(p.y, 3.0);
+    EXPECT_LT(p.y, 5.0);
+  }
+}
+
+TEST(GeneralGenerator, DeterministicForSeed) {
+  GeneralGraphOptions opts;
+  opts.num_nodes = 40;
+  opts.target_edges = 100;
+  Rng r1(77), r2(77);
+  Graph a = GenerateGeneralGraph(opts, &r1);
+  Graph b = GenerateGeneralGraph(opts, &r2);
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (EdgeId e = 0; e < a.NumEdges(); ++e) {
+    EXPECT_EQ(a.edge(e), b.edge(e));
+  }
+}
+
+TEST(GeneralGenerator, CalibrationHitsTargetOnAverage) {
+  // The paper's general graphs: 100 nodes, average 279.5 edges.
+  GeneralGraphOptions opts;
+  opts.num_nodes = 100;
+  opts.target_edges = 279.5;
+  double total = 0;
+  const int trials = 20;
+  Rng rng(5);
+  for (int t = 0; t < trials; ++t) {
+    Rng child = rng.Fork();
+    total += static_cast<double>(GenerateGeneralGraph(opts, &child).NumEdges());
+  }
+  const double avg = total / trials;
+  EXPECT_NEAR(avg, 279.5, 35.0);  // ~4 sigma of the binomial draw
+}
+
+TEST(GeneralGenerator, SymmetricModeProducesTuplePairs) {
+  GeneralGraphOptions opts;
+  opts.num_nodes = 30;
+  opts.target_edges = 80;
+  opts.symmetric = true;
+  Rng rng(3);
+  Graph g = GenerateGeneralGraph(opts, &rng);
+  EXPECT_EQ(g.NumEdges() % 2, 0u);
+  EXPECT_TRUE(g.IsSymmetric());
+}
+
+TEST(GeneralGenerator, AsymmetricModeAllowed) {
+  GeneralGraphOptions opts;
+  opts.num_nodes = 60;
+  opts.target_edges = 200;
+  opts.symmetric = false;
+  Rng rng(3);
+  Graph g = GenerateGeneralGraph(opts, &rng);
+  EXPECT_GT(g.NumEdges(), 0u);
+  EXPECT_FALSE(g.IsSymmetric());  // overwhelmingly likely at this density
+}
+
+TEST(GeneralGenerator, HigherC2FavorsShortEdges) {
+  GeneralGraphOptions local, global;
+  local.num_nodes = global.num_nodes = 80;
+  local.target_edges = global.target_edges = 300;
+  local.c2 = 20.0;
+  global.c2 = 0.0;  // distance-blind
+  Rng r1(9), r2(9);
+  Graph gl = GenerateGeneralGraph(local, &r1);
+  Graph gg = GenerateGeneralGraph(global, &r2);
+  auto avg_len = [](const Graph& g) {
+    double sum = 0;
+    for (const Edge& e : g.edges()) {
+      sum += Distance(g.coordinate(e.src), g.coordinate(e.dst));
+    }
+    return sum / static_cast<double>(g.NumEdges());
+  };
+  EXPECT_LT(avg_len(gl), avg_len(gg));
+}
+
+TEST(GeneralGenerator, ExplicitC1Respected) {
+  GeneralGraphOptions opts;
+  opts.num_nodes = 40;
+  opts.c1 = 0.0;  // probability 0 -> no edges
+  Rng rng(2);
+  EXPECT_EQ(GenerateGeneralGraph(opts, &rng).NumEdges(), 0u);
+}
+
+TEST(GeneralGenerator, EnsureConnectedYieldsOneComponent) {
+  GeneralGraphOptions opts;
+  opts.num_nodes = 60;
+  opts.target_edges = 70;  // sparse: would usually be disconnected
+  opts.ensure_connected = true;
+  Rng rng(4);
+  Graph g = GenerateGeneralGraph(opts, &rng);
+  EXPECT_EQ(WeaklyConnectedComponents(g).count, 1);
+}
+
+TEST(GeneralGenerator, UnitWeightModel) {
+  GeneralGraphOptions opts;
+  opts.num_nodes = 30;
+  opts.target_edges = 90;
+  opts.weight_model = WeightModel::kUnit;
+  Rng rng(6);
+  Graph g = GenerateGeneralGraph(opts, &rng);
+  for (const Edge& e : g.edges()) EXPECT_DOUBLE_EQ(e.weight, 1.0);
+}
+
+TEST(GeneralGenerator, DistanceWeightsMatchCoordinates) {
+  GeneralGraphOptions opts;
+  opts.num_nodes = 30;
+  opts.target_edges = 90;
+  opts.weight_model = WeightModel::kDistance;
+  Rng rng(6);
+  Graph g = GenerateGeneralGraph(opts, &rng);
+  for (const Edge& e : g.edges()) {
+    EXPECT_DOUBLE_EQ(e.weight,
+                     Distance(g.coordinate(e.src), g.coordinate(e.dst)));
+  }
+}
+
+// ----------------------------------------------------------- Transportation
+
+TransportationGraphOptions SmallTransportOptions() {
+  TransportationGraphOptions opts;
+  opts.num_clusters = 4;
+  opts.nodes_per_cluster = 25;
+  opts.target_edges_per_cluster = 100;
+  return opts;
+}
+
+TEST(TransportationGenerator, NodeCountAndClusterLabels) {
+  Rng rng(10);
+  auto t = GenerateTransportationGraph(SmallTransportOptions(), &rng);
+  EXPECT_EQ(t.graph.NumNodes(), 100u);
+  ASSERT_EQ(t.cluster_of_node.size(), 100u);
+  for (size_t c = 0; c < 4; ++c) {
+    for (size_t i = 0; i < 25; ++i) {
+      EXPECT_EQ(t.cluster_of_node[c * 25 + i], static_cast<int>(c));
+    }
+  }
+}
+
+TEST(TransportationGenerator, DefaultLinksFormRing) {
+  Rng rng(10);
+  auto t = GenerateTransportationGraph(SmallTransportOptions(), &rng);
+  ASSERT_EQ(t.links.size(), 4u);  // ring over 4 clusters
+  std::set<std::pair<size_t, size_t>> expected = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  for (const auto& link : t.links) {
+    EXPECT_TRUE(expected.count({link.cluster_a, link.cluster_b}));
+  }
+}
+
+TEST(TransportationGenerator, InterClusterEdgeCountMatchesSpec) {
+  TransportationGraphOptions opts = SmallTransportOptions();
+  opts.links = {{0, 1, 2}, {1, 2, 2}, {2, 3, 2}, {0, 3, 3}};
+  Rng rng(11);
+  auto t = GenerateTransportationGraph(opts, &rng);
+  size_t cross_tuples = 0;
+  for (const Edge& e : t.graph.edges()) {
+    if (t.cluster_of_node[e.src] != t.cluster_of_node[e.dst]) ++cross_tuples;
+  }
+  // 9 undirected cross connections = 18 tuples (symmetric generation).
+  EXPECT_EQ(cross_tuples, 18u);
+}
+
+TEST(TransportationGenerator, CrossEdgesOnlyOnRequestedPairs) {
+  TransportationGraphOptions opts = SmallTransportOptions();
+  opts.links = {{0, 1, 2}, {1, 2, 2}};
+  Rng rng(12);
+  auto t = GenerateTransportationGraph(opts, &rng);
+  for (const Edge& e : t.graph.edges()) {
+    const int ca = t.cluster_of_node[e.src];
+    const int cb = t.cluster_of_node[e.dst];
+    if (ca == cb) continue;
+    const auto pair = std::minmax(ca, cb);
+    EXPECT_TRUE((pair.first == 0 && pair.second == 1) ||
+                (pair.first == 1 && pair.second == 2))
+        << ca << "-" << cb;
+  }
+}
+
+TEST(TransportationGenerator, WholeGraphIsConnected) {
+  Rng rng(13);
+  auto t = GenerateTransportationGraph(SmallTransportOptions(), &rng);
+  EXPECT_EQ(WeaklyConnectedComponents(t.graph).count, 1);
+}
+
+TEST(TransportationGenerator, ClustersAreSpatiallySeparated) {
+  Rng rng(14);
+  auto t = GenerateTransportationGraph(SmallTransportOptions(), &rng);
+  // Cluster 0 occupies cell (0,0): coordinates within [0,1).
+  for (size_t i = 0; i < 25; ++i) {
+    const Point& p = t.graph.coordinate(static_cast<NodeId>(i));
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_LT(p.y, 1.0);
+  }
+  // Cluster 3 occupies cell (1,1).
+  for (size_t i = 75; i < 100; ++i) {
+    const Point& p = t.graph.coordinate(static_cast<NodeId>(i));
+    EXPECT_GT(p.x, 1.0);
+    EXPECT_GT(p.y, 1.0);
+  }
+}
+
+TEST(TransportationGenerator, BorderNodesAreFew) {
+  Rng rng(15);
+  auto t = GenerateTransportationGraph(SmallTransportOptions(), &rng);
+  std::set<NodeId> border_endpoints;
+  for (const Edge& e : t.graph.edges()) {
+    if (t.cluster_of_node[e.src] != t.cluster_of_node[e.dst]) {
+      border_endpoints.insert(e.src);
+      border_endpoints.insert(e.dst);
+    }
+  }
+  // 4 links x 2 edges x 2 endpoints; endpoints are distinct within a link
+  // but may repeat across links, so between 8 and 16 distinct border nodes
+  // out of 100 — "the border points between countries are relatively few".
+  EXPECT_GE(border_endpoints.size(), 8u);
+  EXPECT_LE(border_endpoints.size(), 16u);
+}
+
+TEST(TransportationGenerator, PaperScaleTable1Graph) {
+  // Table 1 workload: 4 clusters x 25 nodes, ~429 edges total.
+  TransportationGraphOptions opts = SmallTransportOptions();
+  opts.target_edges_per_cluster = (429.0 - 18.0) / 4.0;
+  opts.links = {{0, 1, 2}, {1, 2, 2}, {2, 3, 2}, {0, 3, 3}};
+  double total = 0;
+  Rng rng(16);
+  for (int i = 0; i < 10; ++i) {
+    Rng child = rng.Fork();
+    total += static_cast<double>(
+        GenerateTransportationGraph(opts, &child).graph.NumEdges());
+  }
+  EXPECT_NEAR(total / 10, 429.0, 45.0);
+}
+
+// Parameterized sweep: generator invariants hold across shapes and seeds.
+struct GenParam {
+  size_t clusters;
+  size_t nodes;
+  uint64_t seed;
+};
+
+class TransportationSweep : public ::testing::TestWithParam<GenParam> {};
+
+TEST_P(TransportationSweep, StructuralInvariants) {
+  const GenParam p = GetParam();
+  TransportationGraphOptions opts;
+  opts.num_clusters = p.clusters;
+  opts.nodes_per_cluster = p.nodes;
+  opts.target_edges_per_cluster = static_cast<double>(p.nodes) * 4;
+  Rng rng(p.seed);
+  auto t = GenerateTransportationGraph(opts, &rng);
+  EXPECT_EQ(t.graph.NumNodes(), p.clusters * p.nodes);
+  EXPECT_TRUE(t.graph.IsSymmetric());
+  EXPECT_TRUE(t.graph.has_coordinates());
+  EXPECT_EQ(WeaklyConnectedComponents(t.graph).count, 1);
+  // Every cluster is internally connected (ensure_connected per cluster).
+  for (const Edge& e : t.graph.edges()) {
+    EXPECT_LT(e.src, t.graph.NumNodes());
+    EXPECT_LT(e.dst, t.graph.NumNodes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TransportationSweep,
+    ::testing::Values(GenParam{2, 10, 1}, GenParam{2, 10, 2},
+                      GenParam{3, 15, 3}, GenParam{4, 25, 4},
+                      GenParam{4, 25, 5}, GenParam{5, 12, 6},
+                      GenParam{6, 20, 7}, GenParam{8, 10, 8},
+                      GenParam{4, 40, 9}, GenParam{2, 50, 10}));
+
+}  // namespace
+}  // namespace tcf

@@ -1,0 +1,109 @@
+// Tests for the Kernighan–Lin style min-cut fragmenter.
+#include <gtest/gtest.h>
+
+#include "fragment/kernighan_lin.h"
+#include "fragment/metrics.h"
+#include "fragment/random_partition.h"
+#include "graph/builder.h"
+#include "graph/generator.h"
+
+namespace tcf {
+namespace {
+
+TransportationGraph MakeTransport(uint64_t seed) {
+  TransportationGraphOptions opts;
+  opts.num_clusters = 4;
+  opts.nodes_per_cluster = 25;
+  opts.target_edges_per_cluster = 100;
+  Rng rng(seed);
+  return GenerateTransportationGraph(opts, &rng);
+}
+
+TEST(KernighanLin, PartitionsAllEdges) {
+  auto t = MakeTransport(1);
+  KernighanLinOptions opts;
+  opts.num_fragments = 4;
+  Fragmentation f = KernighanLinFragmentation(t.graph, opts);
+  size_t total = 0;
+  for (FragmentId i = 0; i < f.NumFragments(); ++i) {
+    total += f.FragmentEdges(i).size();
+  }
+  EXPECT_EQ(total, t.graph.NumEdges());
+  EXPECT_EQ(f.NumFragments(), 4u);
+}
+
+TEST(KernighanLin, SplitsTwoCliquesAtTheBridge) {
+  GraphBuilder b(8);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) b.AddSymmetricEdge(u, v);
+  }
+  for (NodeId u = 4; u < 8; ++u) {
+    for (NodeId v = u + 1; v < 8; ++v) b.AddSymmetricEdge(u, v);
+  }
+  b.AddSymmetricEdge(3, 4);
+  Graph g = b.Build();
+  KernighanLinOptions opts;
+  opts.num_fragments = 2;
+  Fragmentation f = KernighanLinFragmentation(g, opts);
+  auto c = ComputeCharacteristics(f);
+  EXPECT_EQ(c.num_fragments, 2u);
+  EXPECT_LE(c.avg_ds_nodes, 1.0);  // only the bridge endpoint crosses
+  EXPECT_DOUBLE_EQ(c.dev_fragment_edges, 1.0);  // 12 vs 14 tuples
+}
+
+TEST(KernighanLin, RecoversTransportationClusters) {
+  auto t = MakeTransport(2);
+  KernighanLinOptions opts;
+  opts.num_fragments = 4;
+  Fragmentation f = KernighanLinFragmentation(t.graph, opts);
+  auto c = ComputeCharacteristics(f);
+  EXPECT_LE(c.avg_ds_nodes, 6.0);
+  EXPECT_LT(c.dev_fragment_edges, 0.5 * c.avg_fragment_edges);
+}
+
+TEST(KernighanLin, BeatsRandomOnBothGoals) {
+  auto t = MakeTransport(3);
+  KernighanLinOptions opts;
+  opts.num_fragments = 4;
+  auto ckl = ComputeCharacteristics(KernighanLinFragmentation(t.graph, opts));
+  Rng rng(77);
+  auto crand = ComputeCharacteristics(RandomFragmentation(t.graph, 4, &rng));
+  EXPECT_LT(ckl.avg_ds_nodes, crand.avg_ds_nodes);
+  EXPECT_LT(ckl.dev_fragment_edges, crand.dev_fragment_edges + 1e-9);
+}
+
+TEST(KernighanLin, DegenerateInputs) {
+  GraphBuilder b(1);
+  Graph g1 = b.Build();
+  KernighanLinOptions opts;
+  opts.num_fragments = 4;
+  Fragmentation f = KernighanLinFragmentation(g1, opts);
+  EXPECT_LE(f.NumFragments(), 1u);
+
+  GraphBuilder b2(2);
+  b2.AddSymmetricEdge(0, 1);
+  Fragmentation f2 = KernighanLinFragmentation(b2.Build(), opts);
+  EXPECT_GE(f2.NumFragments(), 1u);
+}
+
+class KernighanLinSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernighanLinSweep, BalancedAndSmallCut) {
+  auto t = MakeTransport(GetParam());
+  KernighanLinOptions opts;
+  opts.num_fragments = 4;
+  opts.seed = GetParam();
+  Fragmentation f = KernighanLinFragmentation(t.graph, opts);
+  auto c = ComputeCharacteristics(f);
+  EXPECT_EQ(c.num_fragments, 4u);
+  // Node balance within the slack bounds implies edge sizes within a
+  // loose factor; assert no fragment is pathologically small.
+  EXPECT_GT(c.min_fragment_edges, 0.2 * c.avg_fragment_edges);
+  EXPECT_LE(c.avg_ds_nodes, 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernighanLinSweep,
+                         ::testing::Range<uint64_t>(10, 18));
+
+}  // namespace
+}  // namespace tcf

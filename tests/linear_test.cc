@@ -1,0 +1,227 @@
+// Tests for the linear fragmentation (Sec. 3.3, Figs. 6-8): the sweep, the
+// |E|/f threshold, boundary disconnection sets, and — the algorithm's
+// design goal — the guaranteed-acyclic fragmentation graph.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "fragment/linear.h"
+#include "fragment/metrics.h"
+#include "graph/builder.h"
+#include "graph/generator.h"
+
+namespace tcf {
+namespace {
+
+TransportationGraph MakeTransport(uint64_t seed) {
+  TransportationGraphOptions opts;
+  opts.num_clusters = 4;
+  opts.nodes_per_cluster = 25;
+  opts.target_edges_per_cluster = 100;
+  Rng rng(seed);
+  return GenerateTransportationGraph(opts, &rng);
+}
+
+Graph MakeGeneral(uint64_t seed, size_t n = 100, double m = 280) {
+  GeneralGraphOptions opts;
+  opts.num_nodes = n;
+  opts.target_edges = m;
+  Rng rng(seed);
+  return GenerateGeneralGraph(opts, &rng);
+}
+
+TEST(Linear, PartitionsAllEdges) {
+  auto t = MakeTransport(1);
+  LinearOptions opts;
+  opts.num_fragments = 4;
+  auto result = LinearFragmentation(t.graph, opts);
+  size_t total = 0;
+  for (FragmentId i = 0; i < result.fragmentation.NumFragments(); ++i) {
+    total += result.fragmentation.FragmentEdges(i).size();
+  }
+  EXPECT_EQ(total, t.graph.NumEdges());
+}
+
+TEST(Linear, AcyclicOnTransportationGraph) {
+  auto t = MakeTransport(2);
+  LinearOptions opts;
+  opts.num_fragments = 4;
+  auto result = LinearFragmentation(t.graph, opts);
+  EXPECT_TRUE(result.fragmentation.IsLooselyConnected());
+}
+
+TEST(Linear, ChainStructure) {
+  // Fragments form a chain: every fragment has <= 2 neighbors and the
+  // fragmentation graph is a path (when the graph is connected).
+  auto t = MakeTransport(3);
+  LinearOptions opts;
+  opts.num_fragments = 4;
+  auto result = LinearFragmentation(t.graph, opts);
+  const Fragmentation& f = result.fragmentation;
+  size_t endpoints = 0;
+  for (FragmentId i = 0; i < f.NumFragments(); ++i) {
+    const size_t deg = f.FragmentNeighbors(i).size();
+    EXPECT_LE(deg, 2u);
+    if (deg <= 1) ++endpoints;
+  }
+  EXPECT_LE(endpoints, 2u + 0u);  // path has exactly 2 (or 1 fragment total)
+}
+
+TEST(Linear, ConsecutiveFragmentsOnlyShareNodes) {
+  auto t = MakeTransport(4);
+  LinearOptions opts;
+  opts.num_fragments = 5;
+  auto result = LinearFragmentation(t.graph, opts);
+  const Fragmentation& f = result.fragmentation;
+  for (const DisconnectionSet& ds : f.disconnection_sets()) {
+    EXPECT_EQ(ds.frag_b - ds.frag_a, 1u)
+        << "non-consecutive fragments share nodes";
+  }
+}
+
+TEST(Linear, ThresholdBoundsAllButLastFragmentFromBelow) {
+  auto t = MakeTransport(5);
+  LinearOptions opts;
+  opts.num_fragments = 4;
+  auto result = LinearFragmentation(t.graph, opts);
+  const Fragmentation& f = result.fragmentation;
+  const size_t threshold = t.graph.NumEdges() / 4;
+  for (FragmentId i = 0; i + 1 < f.NumFragments(); ++i) {
+    EXPECT_GE(f.FragmentEdges(i).size(), threshold);
+  }
+}
+
+TEST(Linear, SweepStartsAtRequestedSide) {
+  auto t = MakeTransport(6);
+  LinearOptions left, right;
+  left.num_fragments = right.num_fragments = 4;
+  left.start = LinearOptions::Start::kLeft;
+  right.start = LinearOptions::Start::kRight;
+  auto rl = LinearFragmentation(t.graph, left);
+  auto rr = LinearFragmentation(t.graph, right);
+  auto avg_x_of_fragment0 = [&](const Fragmentation& f) {
+    double sum = 0;
+    for (NodeId v : f.FragmentNodes(0)) sum += t.graph.coordinate(v).x;
+    return sum / static_cast<double>(f.FragmentNodes(0).size());
+  };
+  EXPECT_LT(avg_x_of_fragment0(rl.fragmentation),
+            avg_x_of_fragment0(rr.fragmentation));
+}
+
+TEST(Linear, ExplicitStartNodesRespected) {
+  auto t = MakeTransport(7);
+  LinearOptions opts;
+  opts.num_fragments = 4;
+  opts.start_nodes = std::vector<NodeId>{99};  // a cluster-3 node
+  auto result = LinearFragmentation(t.graph, opts);
+  const auto& nodes0 = result.fragmentation.FragmentNodes(0);
+  EXPECT_TRUE(std::find(nodes0.begin(), nodes0.end(), 99u) != nodes0.end());
+}
+
+TEST(Linear, RecordedBoundariesAreBorderNodesSupersets) {
+  // Every formally shared node between consecutive fragments must have
+  // been recorded as a boundary by the algorithm.
+  auto t = MakeTransport(8);
+  LinearOptions opts;
+  opts.num_fragments = 4;
+  auto result = LinearFragmentation(t.graph, opts);
+  const Fragmentation& f = result.fragmentation;
+  for (const DisconnectionSet& ds : f.disconnection_sets()) {
+    ASSERT_LT(ds.frag_a, result.recorded_boundaries.size());
+    const auto& rec = result.recorded_boundaries[ds.frag_a];
+    std::set<NodeId> recorded(rec.begin(), rec.end());
+    for (NodeId v : ds.nodes) {
+      EXPECT_TRUE(recorded.count(v))
+          << "node " << v << " shared but never recorded";
+    }
+  }
+}
+
+TEST(Linear, SingleFragmentWhenFIsOne) {
+  auto t = MakeTransport(9);
+  LinearOptions opts;
+  opts.num_fragments = 1;
+  auto result = LinearFragmentation(t.graph, opts);
+  EXPECT_EQ(result.fragmentation.NumFragments(), 1u);
+  EXPECT_TRUE(result.fragmentation.IsLooselyConnected());
+}
+
+TEST(Linear, HandlesDisconnectedGraph) {
+  GraphBuilder b;
+  // Two spatial islands.
+  for (int i = 0; i < 6; ++i) {
+    b.AddNode({static_cast<double>(i % 3), i < 3 ? 0.0 : 5.0});
+  }
+  b.AddSymmetricEdge(0, 1);
+  b.AddSymmetricEdge(1, 2);
+  b.AddSymmetricEdge(3, 4);
+  b.AddSymmetricEdge(4, 5);
+  Graph g = b.Build();
+  LinearOptions opts;
+  opts.num_fragments = 2;
+  auto result = LinearFragmentation(g, opts);
+  size_t total = 0;
+  for (FragmentId i = 0; i < result.fragmentation.NumFragments(); ++i) {
+    total += result.fragmentation.FragmentEdges(i).size();
+  }
+  EXPECT_EQ(total, g.NumEdges());
+  EXPECT_TRUE(result.fragmentation.IsLooselyConnected());
+}
+
+TEST(Linear, RequiresCoordinatesOrStartNodes) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = b.Build();  // no coordinates
+  LinearOptions opts;
+  opts.start_nodes = std::vector<NodeId>{0};
+  auto result = LinearFragmentation(g, opts);  // ok with explicit starts
+  EXPECT_GE(result.fragmentation.NumFragments(), 1u);
+}
+
+// ---- The headline property: acyclic for every graph, every seed, every
+// ---- start side, every fragment count (Sec. 3.3's guarantee).
+struct LinParam {
+  uint64_t seed;
+  size_t fragments;
+  LinearOptions::Start start;
+  bool transport;
+};
+
+class LinearAcyclicSweep : public ::testing::TestWithParam<LinParam> {};
+
+TEST_P(LinearAcyclicSweep, AlwaysLooselyConnected) {
+  const LinParam p = GetParam();
+  Graph g = p.transport ? MakeTransport(p.seed).graph : MakeGeneral(p.seed);
+  LinearOptions opts;
+  opts.num_fragments = p.fragments;
+  opts.start = p.start;
+  auto result = LinearFragmentation(g, opts);
+  EXPECT_TRUE(result.fragmentation.IsLooselyConnected())
+      << "cycles: " << result.fragmentation.FragmentationGraphCycles();
+  // And it is an edge partition.
+  size_t total = 0;
+  for (FragmentId i = 0; i < result.fragmentation.NumFragments(); ++i) {
+    total += result.fragmentation.FragmentEdges(i).size();
+  }
+  EXPECT_EQ(total, g.NumEdges());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LinearAcyclicSweep,
+    ::testing::Values(LinParam{1, 2, LinearOptions::Start::kLeft, true},
+                      LinParam{2, 3, LinearOptions::Start::kTop, true},
+                      LinParam{3, 4, LinearOptions::Start::kRight, true},
+                      LinParam{4, 5, LinearOptions::Start::kBottom, true},
+                      LinParam{5, 6, LinearOptions::Start::kLeft, true},
+                      LinParam{6, 2, LinearOptions::Start::kLeft, false},
+                      LinParam{7, 3, LinearOptions::Start::kTop, false},
+                      LinParam{8, 4, LinearOptions::Start::kRight, false},
+                      LinParam{9, 5, LinearOptions::Start::kBottom, false},
+                      LinParam{10, 8, LinearOptions::Start::kLeft, false},
+                      LinParam{11, 4, LinearOptions::Start::kLeft, false},
+                      LinParam{12, 4, LinearOptions::Start::kTop, true}));
+
+}  // namespace
+}  // namespace tcf

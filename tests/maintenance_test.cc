@@ -1,0 +1,192 @@
+// Tests for update maintenance (Sec. 2.1's "careful treatment of
+// updates"): after any sequence of inserts, deletes and re-weights the
+// maintained database must answer exactly like a fresh whole-graph oracle,
+// and the maintenance meters must distinguish structural rebuilds from
+// complementary refreshes.
+#include <gtest/gtest.h>
+
+#include "dsa/maintenance.h"
+#include "fragment/center_based.h"
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+#include "graph/generator.h"
+
+namespace tcf {
+namespace {
+
+MaintainedDatabase MakeChainDb() {
+  // 0-1-2 | 2-3-4 as two fragments sharing node 2.
+  GraphBuilder b(5);
+  b.AddSymmetricEdge(0, 1, 1.0);
+  b.AddSymmetricEdge(1, 2, 1.0);
+  b.AddSymmetricEdge(2, 3, 1.0);
+  b.AddSymmetricEdge(3, 4, 1.0);
+  Graph g = b.Build();
+  return MaintainedDatabase(std::move(g), {0, 0, 0, 0, 1, 1, 1, 1}, 2);
+}
+
+void ExpectMatchesOracle(const MaintainedDatabase& mdb) {
+  const Graph& g = mdb.graph();
+  for (NodeId s = 0; s < g.NumNodes(); ++s) {
+    ShortestPaths sp = Dijkstra(g, s);
+    for (NodeId t = 0; t < g.NumNodes(); ++t) {
+      const Weight expected = s == t ? 0.0 : sp.distance[t];
+      const QueryAnswer answer = mdb.db().ShortestPath(s, t);
+      if (expected == kInfinity) {
+        EXPECT_FALSE(answer.connected) << s << "->" << t;
+      } else {
+        ASSERT_TRUE(answer.connected) << s << "->" << t;
+        EXPECT_NEAR(answer.cost, expected, 1e-9) << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(Maintenance, FreshDatabaseAnswersCorrectly) {
+  MaintainedDatabase mdb = MakeChainDb();
+  EXPECT_EQ(mdb.structural_rebuilds(), 0u);
+  EXPECT_EQ(mdb.complementary_refreshes(), 0u);
+  ExpectMatchesOracle(mdb);
+}
+
+TEST(Maintenance, InsertIntraFragmentEdge) {
+  MaintainedDatabase mdb = MakeChainDb();
+  mdb.InsertEdge(0, 2, 0.5);  // both endpoints already in fragment 0
+  mdb.InsertEdge(2, 0, 0.5);
+  EXPECT_EQ(mdb.structural_rebuilds(), 0u);  // node sets unchanged
+  EXPECT_EQ(mdb.complementary_refreshes(), 2u);
+  EXPECT_EQ(mdb.graph().NumEdges(), 10u);
+  ExpectMatchesOracle(mdb);
+  EXPECT_NEAR(mdb.db().ShortestPath(0, 4).cost, 2.5, 1e-9);
+}
+
+TEST(Maintenance, InsertEdgeWithNewFragmentNode) {
+  MaintainedDatabase mdb = MakeChainDb();
+  // Node 4 was only in fragment 1; pulling it into fragment 0 changes the
+  // disconnection sets (structural).
+  mdb.InsertEdge(0, 4, 10.0, FragmentId{0});
+  EXPECT_EQ(mdb.structural_rebuilds(), 1u);
+  ExpectMatchesOracle(mdb);
+}
+
+TEST(Maintenance, DeleteEdgeDisconnects) {
+  MaintainedDatabase mdb = MakeChainDb();
+  EXPECT_EQ(mdb.DeleteEdge(2, 3), 1u);
+  EXPECT_EQ(mdb.DeleteEdge(3, 2), 1u);
+  EXPECT_EQ(mdb.structural_rebuilds(), 2u);
+  EXPECT_FALSE(mdb.db().IsConnected(0, 4));
+  EXPECT_TRUE(mdb.db().IsConnected(3, 4));
+  ExpectMatchesOracle(mdb);
+}
+
+TEST(Maintenance, DeleteMissingEdgeIsFree) {
+  MaintainedDatabase mdb = MakeChainDb();
+  EXPECT_EQ(mdb.DeleteEdge(0, 4), 0u);
+  EXPECT_EQ(mdb.structural_rebuilds(), 0u);
+  EXPECT_EQ(mdb.complementary_refreshes(), 0u);
+}
+
+TEST(Maintenance, ReweightIsRefreshOnly) {
+  MaintainedDatabase mdb = MakeChainDb();
+  EXPECT_EQ(mdb.ReweightEdge(1, 2, 5.0), 1u);
+  EXPECT_EQ(mdb.ReweightEdge(2, 1, 5.0), 1u);
+  EXPECT_EQ(mdb.structural_rebuilds(), 0u);
+  EXPECT_EQ(mdb.complementary_refreshes(), 2u);
+  ExpectMatchesOracle(mdb);
+  EXPECT_NEAR(mdb.db().ShortestPath(0, 2).cost, 6.0, 1e-9);
+}
+
+TEST(Maintenance, ReweightToSameValueIsFree) {
+  MaintainedDatabase mdb = MakeChainDb();
+  EXPECT_EQ(mdb.ReweightEdge(1, 2, 1.0), 0u);
+  EXPECT_EQ(mdb.complementary_refreshes(), 0u);
+}
+
+TEST(Maintenance, ReweightChangesGlobalShortcuts) {
+  // Sec. 2.1's update hazard in miniature: a weight change *inside* one
+  // fragment silently invalidates another fragment's complementary
+  // information. The refresh must propagate it.
+  MaintainedDatabase mdb = MakeChainDb();
+  // Add a parallel expensive route 1-2 via a new edge in fragment 0... use
+  // reweight: make 1-2 cost 9, so queries within fragment 1 that relied on
+  // nothing change, but 0->3 now prefers nothing else (sanity check both).
+  mdb.ReweightEdge(1, 2, 9.0);
+  mdb.ReweightEdge(2, 1, 9.0);
+  ExpectMatchesOracle(mdb);
+}
+
+TEST(Maintenance, FromFragmentationRoundTrip) {
+  TransportationGraphOptions gopts;
+  gopts.num_clusters = 3;
+  gopts.nodes_per_cluster = 12;
+  gopts.target_edges_per_cluster = 48;
+  Rng rng(5);
+  auto tg = GenerateTransportationGraph(gopts, &rng);
+  CenterBasedOptions copts;
+  copts.num_fragments = 3;
+  copts.distributed_centers = true;
+  Fragmentation frag = CenterBasedFragmentation(tg.graph, copts);
+  MaintainedDatabase mdb = MaintainedDatabase::FromFragmentation(frag);
+  EXPECT_EQ(mdb.graph().NumEdges(), tg.graph.NumEdges());
+  EXPECT_EQ(mdb.fragmentation().NumFragments(), frag.NumFragments());
+  ExpectMatchesOracle(mdb);
+}
+
+// Property: a random update workload stays oracle-exact throughout.
+class MaintenanceSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaintenanceSweep, RandomWorkloadStaysExact) {
+  TransportationGraphOptions gopts;
+  gopts.num_clusters = 3;
+  gopts.nodes_per_cluster = 10;
+  gopts.target_edges_per_cluster = 40;
+  Rng rng(GetParam());
+  auto tg = GenerateTransportationGraph(gopts, &rng);
+  CenterBasedOptions copts;
+  copts.num_fragments = 3;
+  copts.distributed_centers = true;
+  Fragmentation frag = CenterBasedFragmentation(tg.graph, copts);
+  MaintainedDatabase mdb = MaintainedDatabase::FromFragmentation(frag);
+
+  Rng workload(GetParam() * 131 + 7);
+  for (int step = 0; step < 6; ++step) {
+    const NodeId a =
+        static_cast<NodeId>(workload.NextBounded(mdb.graph().NumNodes()));
+    const NodeId b =
+        static_cast<NodeId>(workload.NextBounded(mdb.graph().NumNodes()));
+    if (a == b) continue;
+    switch (workload.NextBounded(3)) {
+      case 0:
+        mdb.InsertEdge(a, b, workload.NextDouble(0.1, 2.0));
+        break;
+      case 1:
+        mdb.DeleteEdge(a, b);
+        break;
+      default:
+        mdb.ReweightEdge(a, b, workload.NextDouble(0.1, 2.0));
+        break;
+    }
+    // Spot-check a handful of pairs against the oracle after every step.
+    for (int probe = 0; probe < 5; ++probe) {
+      const NodeId s =
+          static_cast<NodeId>(workload.NextBounded(mdb.graph().NumNodes()));
+      const NodeId t =
+          static_cast<NodeId>(workload.NextBounded(mdb.graph().NumNodes()));
+      const Weight expected =
+          s == t ? 0.0 : Dijkstra(mdb.graph(), s).distance[t];
+      const QueryAnswer answer = mdb.db().ShortestPath(s, t);
+      if (expected == kInfinity) {
+        EXPECT_FALSE(answer.connected);
+      } else {
+        ASSERT_TRUE(answer.connected);
+        EXPECT_NEAR(answer.cost, expected, 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaintenanceSweep,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace tcf

@@ -1,0 +1,157 @@
+// Tests for Parallel Hierarchical Evaluation (Sec. 5 / [12]): backbone
+// construction and answer equality with both the chain-based DsaDatabase
+// and the whole-graph oracle — especially on fragmentations whose
+// fragmentation graph has cycles, the case PHE exists for.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dsa/phe.h"
+#include "dsa/query_api.h"
+#include "fragment/bond_energy.h"
+#include "fragment/center_based.h"
+#include "fragment/random_partition.h"
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+#include "graph/generator.h"
+
+namespace tcf {
+namespace {
+
+TransportationGraph MakeTransport(uint64_t seed) {
+  TransportationGraphOptions opts;
+  opts.num_clusters = 4;
+  opts.nodes_per_cluster = 15;
+  opts.target_edges_per_cluster = 60;
+  Rng rng(seed);
+  return GenerateTransportationGraph(opts, &rng);
+}
+
+TEST(Phe, BackboneContainsOnlyBorderEdges) {
+  auto t = MakeTransport(1);
+  CenterBasedOptions copts;
+  copts.num_fragments = 4;
+  copts.distributed_centers = true;
+  Fragmentation frag = CenterBasedFragmentation(t.graph, copts);
+  PheDatabase phe(&frag);
+  for (const Edge& e : phe.backbone().edges()) {
+    EXPECT_TRUE(frag.IsBorderNode(e.src));
+    EXPECT_TRUE(frag.IsBorderNode(e.dst));
+  }
+}
+
+TEST(Phe, BackboneDistancesAreGlobal) {
+  auto t = MakeTransport(2);
+  CenterBasedOptions copts;
+  copts.num_fragments = 4;
+  copts.distributed_centers = true;
+  Fragmentation frag = CenterBasedFragmentation(t.graph, copts);
+  PheDatabase phe(&frag);
+  // Every backbone shortest distance equals the global one.
+  for (NodeId v = 0; v < t.graph.NumNodes(); ++v) {
+    if (!frag.IsBorderNode(v)) continue;
+    auto on_backbone = Dijkstra(phe.backbone(), v);
+    auto global = Dijkstra(t.graph, v);
+    for (NodeId w = 0; w < t.graph.NumNodes(); ++w) {
+      if (!frag.IsBorderNode(w) || w == v) continue;
+      EXPECT_DOUBLE_EQ(on_backbone.distance[w], global.distance[w])
+          << v << "->" << w;
+    }
+  }
+}
+
+TEST(Phe, SameFragmentQuery) {
+  auto t = MakeTransport(3);
+  CenterBasedOptions copts;
+  copts.num_fragments = 4;
+  Fragmentation frag = CenterBasedFragmentation(t.graph, copts);
+  PheDatabase phe(&frag);
+  auto oracle = Dijkstra(t.graph, 0);
+  auto answer = phe.ShortestPath(0, 5);  // same cluster, likely same frag
+  EXPECT_NEAR(answer.cost, oracle.distance[5], 1e-9);
+}
+
+TEST(Phe, SelfQuery) {
+  auto t = MakeTransport(4);
+  CenterBasedOptions copts;
+  copts.num_fragments = 4;
+  Fragmentation frag = CenterBasedFragmentation(t.graph, copts);
+  PheDatabase phe(&frag);
+  auto answer = phe.ShortestPath(7, 7);
+  EXPECT_TRUE(answer.connected);
+  EXPECT_DOUBLE_EQ(answer.cost, 0.0);
+}
+
+TEST(Phe, DisconnectedPair) {
+  GraphBuilder b(4);
+  b.AddSymmetricEdge(0, 1);
+  b.AddSymmetricEdge(2, 3);
+  Graph g = b.Build();
+  Fragmentation f(&g, {0, 0, 1, 1}, 2);
+  PheDatabase phe(&f);
+  EXPECT_FALSE(phe.ShortestPath(0, 3).connected);
+}
+
+TEST(Phe, ConstantSiteCountRegardlessOfChains) {
+  // On a cyclic fragmentation graph the chain evaluator fans out; PHE
+  // always runs <= 3 subqueries.
+  auto t = MakeTransport(5);
+  Rng rng(55);
+  Fragmentation frag = RandomFragmentation(t.graph, 5, &rng);
+  ASSERT_FALSE(frag.IsLooselyConnected());
+  PheDatabase phe(&frag);
+  ExecutionReport report;
+  phe.ShortestPath(0, static_cast<NodeId>(t.graph.NumNodes() - 1), &report);
+  EXPECT_LE(report.sites.size(), 3u);
+}
+
+struct PheParam {
+  uint64_t seed;
+  bool random_fragmentation;  // true -> cyclic fragmentation graphs
+};
+
+class PheOracleSweep : public ::testing::TestWithParam<PheParam> {};
+
+TEST_P(PheOracleSweep, MatchesOracleAndChainDsa) {
+  const PheParam p = GetParam();
+  auto t = MakeTransport(p.seed);
+  std::unique_ptr<Fragmentation> frag;
+  if (p.random_fragmentation) {
+    Rng rng(p.seed * 131);
+    frag = std::make_unique<Fragmentation>(
+        RandomFragmentation(t.graph, 4, &rng));
+  } else {
+    BondEnergyOptions opts;
+    opts.num_fragments = 4;
+    frag = std::make_unique<Fragmentation>(
+        BondEnergyFragmentation(t.graph, opts));
+  }
+  PheDatabase phe(frag.get());
+  DsaDatabase dsa(frag.get());
+
+  Rng rng(p.seed);
+  for (int i = 0; i < 15; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes()));
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes()));
+    const Weight oracle = s == u ? 0.0 : Dijkstra(t.graph, s).distance[u];
+    const auto phe_answer = phe.ShortestPath(s, u);
+    const auto dsa_answer = dsa.ShortestPath(s, u);
+    if (oracle == kInfinity) {
+      EXPECT_FALSE(phe_answer.connected);
+      EXPECT_FALSE(dsa_answer.connected);
+    } else {
+      EXPECT_NEAR(phe_answer.cost, oracle, 1e-9) << s << "->" << u;
+      EXPECT_NEAR(dsa_answer.cost, oracle, 1e-9) << s << "->" << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PheOracleSweep,
+    ::testing::Values(PheParam{1, false}, PheParam{2, false},
+                      PheParam{3, false}, PheParam{4, true},
+                      PheParam{5, true}, PheParam{6, true},
+                      PheParam{7, true}, PheParam{8, false}));
+
+}  // namespace
+}  // namespace tcf
