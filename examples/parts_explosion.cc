@@ -39,7 +39,13 @@ int main() {
   for (size_t f = 0; f < kFamilies; ++f) {
     for (size_t i = 0; i < kPerFamily; ++i) {
       builder.AddNode({static_cast<double>(f), static_cast<double>(i)});
-      names.push_back("F" + std::to_string(f) + "/A" + std::to_string(i));
+      // Built with append rather than operator+ chains: GCC 12's -Wrestrict
+      // false-positives on `const char* + std::string&&` (GCC bug 105651).
+      std::string name = "F";
+      name += std::to_string(f);
+      name += "/A";
+      name += std::to_string(i);
+      names.push_back(std::move(name));
       family_block.push_back(static_cast<int>(f));
     }
   }
