@@ -1,0 +1,91 @@
+// Batched vs. sequential query execution (see docs/ARCHITECTURE.md, batch
+// layer): the same workload is answered once as a sequential
+// DsaDatabase::ShortestPath loop and once as a single
+// BatchExecutor::Execute call, for each WorkloadSpec mix. Reports
+// queries/sec for both paths, the batch speed-up, the cross-query subquery
+// deduplication savings, and the chain-plan cache hit rate — the two
+// sharing effects that make batching pay, especially on the hot-pair mix.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dsa/batch.h"
+#include "dsa/workload.h"
+#include "util/timer.h"
+
+using namespace tcf;
+using namespace tcf::bench;
+
+namespace {
+
+void RunFamily(const char* family, const Graph& g, Fragmentation frag,
+               size_t num_queries) {
+  std::printf(
+      "%s: %zu nodes, %zu edges, %zu fragments, %zu queries per mix\n",
+      family, g.NumNodes(), g.NumEdges(), frag.NumFragments(), num_queries);
+  TablePrinter table({"Mix", "seq q/s", "batch q/s", "speedup", "dedup",
+                      "plan-cache hits"});
+
+  for (WorkloadMix mix :
+       {WorkloadMix::kUniform, WorkloadMix::kHotPair,
+        WorkloadMix::kWithinFragment, WorkloadMix::kCrossChain}) {
+    WorkloadSpec spec;
+    spec.mix = mix;
+    spec.num_queries = num_queries;
+    Rng rng(41);
+    const std::vector<Query> queries = GenerateWorkload(frag, spec, &rng);
+
+    // Fresh databases so one mix's plan cache cannot help another, and the
+    // sequential loop cannot warm the batch run.
+    DsaDatabase seq_db(&frag);
+    WallTimer seq_timer;
+    for (const Query& q : queries) seq_db.ShortestPath(q.from, q.to);
+    const double seq_seconds = seq_timer.ElapsedSeconds();
+
+    DsaDatabase batch_db(&frag);
+    BatchExecutor executor(&batch_db);
+    const BatchResult result = executor.Execute(queries);
+
+    const double seq_qps =
+        seq_seconds == 0.0 ? 0.0 : static_cast<double>(num_queries) /
+                                       seq_seconds;
+    const double speedup = result.stats.wall_seconds == 0.0
+                               ? 0.0
+                               : seq_seconds / result.stats.wall_seconds;
+    table.AddRow(
+        {WorkloadMixName(mix), TablePrinter::Fmt(seq_qps, 0),
+         TablePrinter::Fmt(result.stats.QueriesPerSecond(), 0),
+         TablePrinter::Fmt(speedup, 2) + "x",
+         TablePrinter::Fmt(100.0 * result.stats.DedupSavings(), 1) + "%",
+         TablePrinter::Fmt(100.0 * result.stats.PlanCacheHitRate(), 1) +
+             "%"});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kQueries = 1000;
+
+  {
+    Rng rng(7);
+    TransportationGraphOptions opts = Table1Options();
+    TransportationGraph t = GenerateTransportationGraph(opts, &rng);
+    LinearOptions lopts;
+    lopts.num_fragments = 4;
+    RunFamily("transportation graph (Table 1 workload)", t.graph,
+              LinearFragmentation(t.graph, lopts).fragmentation, kQueries);
+  }
+  {
+    Rng rng(7);
+    GeneralGraphOptions opts = Table3Options();
+    Graph g = GenerateGeneralGraph(opts, &rng);
+    CenterBasedOptions copts;
+    copts.num_fragments = 4;
+    copts.distributed_centers = true;
+    RunFamily("general graph (Table 3 workload)", g,
+              CenterBasedFragmentation(g, copts), kQueries);
+  }
+  return 0;
+}

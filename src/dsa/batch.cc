@@ -1,0 +1,96 @@
+#include "dsa/batch.h"
+
+#include "util/timer.h"
+
+namespace tcf {
+
+BatchExecutor::BatchExecutor(const DsaDatabase* db) : db_(db) {
+  TCF_CHECK(db != nullptr);
+}
+
+BatchResult BatchExecutor::Execute(const std::vector<Query>& queries) const {
+  const Fragmentation& frag = db_->fragmentation();
+  const DsaOptions& options = db_->options();
+  const size_t num_nodes = frag.graph().NumNodes();
+
+  BatchResult result;
+  result.answers.resize(queries.size());
+  result.stats.num_queries = queries.size();
+  WallTimer batch_timer;
+
+  // Plan every query from the coordinator thread, interning all keyhole
+  // subqueries into one table so identical selections — within a query's
+  // chains or across queries — are computed once. Planning is cheap
+  // relative to phase 1 (chain lookups hit the shared LRU cache), so it is
+  // not worth parallelizing and the SpecTable needs no lock.
+  WallTimer plan_timer;
+  SpecTable specs;
+  std::vector<QueryPlan> plans(queries.size());
+  std::vector<char> trivial(queries.size(), 0);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    TCF_CHECK(q.from < num_nodes && q.to < num_nodes);
+    TCF_CHECK_MSG(q.kind != QueryKind::kRoute || options.use_complementary,
+                  "route queries require complementary information");
+    if (q.from == q.to) {
+      trivial[i] = 1;
+      continue;
+    }
+    plans[i] = db_->Plan(q.from, q.to, &specs);
+    for (const std::vector<size_t>& hops : plans[i].chain_specs) {
+      result.stats.subqueries_requested += hops.size();
+    }
+    result.stats.plan_cache_hits += plans[i].cache_hits;
+    result.stats.plan_cache_misses += plans[i].cache_misses;
+  }
+  result.stats.subqueries_executed = specs.size();
+  result.stats.plan_seconds = plan_timer.ElapsedSeconds();
+
+  // Phase 1, once for the whole batch: every deduplicated subquery is one
+  // task on the database's shared pool.
+  WallTimer phase1_timer;
+  const ComplementaryInfo* comp =
+      options.use_complementary ? &db_->complementary() : nullptr;
+  std::vector<LocalQueryResult> site_results = RunSites(
+      frag, comp, specs.specs(), options.engine, db_->pool(), &result.report);
+  result.stats.phase1_seconds = phase1_timer.ElapsedSeconds();
+
+  // Assemble every query in parallel. Assembly only *reads* the shared
+  // site results (the chain joins and the route dynamic program work on
+  // copies), so queries are independent again; each task fills its own
+  // answer slot and report.
+  WallTimer assemble_timer;
+  std::vector<ExecutionReport> reports(queries.size());
+  auto assemble_one = [&](size_t i) {
+    const Query& q = queries[i];
+    RouteAnswer& out = result.answers[i];
+    if (trivial[i]) {
+      out.answer.connected = true;
+      out.answer.cost = 0.0;
+      if (q.kind == QueryKind::kRoute) out.route = {q.from};
+      return;
+    }
+    switch (q.kind) {
+      case QueryKind::kCost:
+      case QueryKind::kReachability:
+        out.answer = AssembleCostAnswer(frag, plans[i], specs, q.from, q.to,
+                                        site_results, &reports[i]);
+        break;
+      case QueryKind::kRoute:
+        out = AssembleRouteAnswer(frag, db_->complementary(), plans[i], specs,
+                                  q.from, q.to, site_results, &reports[i]);
+        break;
+    }
+  };
+  if (db_->pool() != nullptr) {
+    db_->pool()->ParallelFor(queries.size(), assemble_one);
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) assemble_one(i);
+  }
+  for (const ExecutionReport& r : reports) result.report.Merge(r);
+  result.stats.assemble_seconds = assemble_timer.ElapsedSeconds();
+  result.stats.wall_seconds = batch_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace tcf

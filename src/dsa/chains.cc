@@ -44,4 +44,20 @@ std::vector<FragmentChain> FindChains(const Fragmentation& frag,
   return chains;
 }
 
+ChainPlanCache::ChainPlanCache(size_t capacity) : cache_(capacity) {}
+
+std::shared_ptr<const std::vector<FragmentChain>>
+ChainPlanCache::ChainsBetween(const Fragmentation& frag, FragmentId from,
+                              FragmentId to, size_t max_chains,
+                              bool* was_hit_out) {
+  const uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
+  return cache_.GetOrCompute(
+      key,
+      [&]() {
+        return std::make_shared<const std::vector<FragmentChain>>(
+            FindChains(frag, from, to, max_chains));
+      },
+      was_hit_out);
+}
+
 }  // namespace tcf

@@ -5,9 +5,11 @@
 // to consider all possible chains of fragments independently."
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "fragment/fragmentation.h"
+#include "util/lru_cache.h"
 
 namespace tcf {
 
@@ -20,5 +22,36 @@ using FragmentChain = std::vector<FragmentId>;
 std::vector<FragmentChain> FindChains(const Fragmentation& frag,
                                       FragmentId from, FragmentId to,
                                       size_t max_chains = 64);
+
+/// A thread-safe LRU cache of FindChains results keyed by (from, to)
+/// fragment pair. Chain enumeration is pure fragmentation-graph work — it
+/// depends on neither the query constants nor the data — so every query
+/// between the same endpoint fragments reuses one enumeration. With F
+/// fragments there are at most F^2 keys, so a modest capacity usually
+/// caches the whole fragmentation graph; the LRU bound matters for large
+/// F (sharded deployments) and keeps hot pairs resident.
+///
+/// One cache serves one (Fragmentation, max_chains) combination: both are
+/// fixed per DsaDatabase, which owns the cache. All methods may be called
+/// concurrently.
+class ChainPlanCache {
+ public:
+  explicit ChainPlanCache(size_t capacity = 4096);
+
+  /// The chains between `from` and `to`, computed via FindChains on a miss.
+  /// `was_hit_out`, if non-null, reports whether this lookup was a cache
+  /// hit (used for per-batch accounting on top of the cumulative Stats()).
+  std::shared_ptr<const std::vector<FragmentChain>> ChainsBetween(
+      const Fragmentation& frag, FragmentId from, FragmentId to,
+      size_t max_chains, bool* was_hit_out = nullptr);
+
+  /// Cumulative hit/miss/eviction counters and resident entry count.
+  LruCacheStats Stats() const { return cache_.Stats(); }
+  size_t capacity() const { return cache_.capacity(); }
+  void Clear() { cache_.Clear(); }
+
+ private:
+  LruCache<uint64_t, std::vector<FragmentChain>> cache_;
+};
 
 }  // namespace tcf

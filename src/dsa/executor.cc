@@ -1,7 +1,9 @@
 #include "dsa/executor.h"
 
-#include <future>
+#include <algorithm>
+#include <unordered_map>
 
+#include "graph/algorithms.h"
 #include "util/timer.h"
 
 namespace tcf {
@@ -16,6 +18,101 @@ double ExecutionReport::TotalSiteSeconds() const {
   double total = 0.0;
   for (const SiteReport& s : sites) total += s.seconds;
   return total;
+}
+
+void ExecutionReport::Merge(const ExecutionReport& other) {
+  sites.insert(sites.end(), other.sites.begin(), other.sites.end());
+  phase1_wall_seconds += other.phase1_wall_seconds;
+  phase1_cpu_seconds += other.phase1_cpu_seconds;
+  assembly_seconds += other.assembly_seconds;
+  assembly_join_tuples += other.assembly_join_tuples;
+  communication_tuples += other.communication_tuples;
+}
+
+size_t SpecTable::Intern(LocalQuerySpec spec) {
+  auto sorted = [](const NodeSet& s) {
+    std::vector<NodeId> v(s.begin(), s.end());
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  auto key = std::make_tuple(spec.fragment, sorted(spec.sources),
+                             sorted(spec.targets));
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    it = index_.emplace(std::move(key), specs_.size()).first;
+    specs_.push_back(std::move(spec));
+  }
+  return it->second;
+}
+
+QueryPlan BuildQueryPlan(const Fragmentation& frag, NodeId from, NodeId to,
+                         size_t max_chains, ChainPlanCache* chain_cache,
+                         SpecTable* specs) {
+  TCF_CHECK(specs != nullptr);
+  TCF_CHECK(from != to);
+  QueryPlan plan;
+
+  // Locate the query constants; a border node lives in several fragments
+  // and every one of them is a valid chain endpoint.
+  for (FragmentId fa : frag.FragmentsOfNode(from)) {
+    for (FragmentId fb : frag.FragmentsOfNode(to)) {
+      auto add_chain = [&](const FragmentChain& c) {
+        if (std::find(plan.chains.begin(), plan.chains.end(), c) ==
+            plan.chains.end()) {
+          plan.chains.push_back(c);
+        }
+      };
+      if (chain_cache != nullptr) {
+        bool was_hit = false;
+        auto chains =
+            chain_cache->ChainsBetween(frag, fa, fb, max_chains, &was_hit);
+        (was_hit ? plan.cache_hits : plan.cache_misses) += 1;
+        for (const FragmentChain& c : *chains) add_chain(c);
+      } else {
+        for (const FragmentChain& c : FindChains(frag, fa, fb, max_chains)) {
+          add_chain(c);
+        }
+      }
+    }
+  }
+
+  // One subquery per (fragment, sources, targets) — shared between chains
+  // (and, via a shared SpecTable, between batched queries) when identical,
+  // so a fragment computes each selection once.
+  auto ds_nodes = [&](FragmentId a, FragmentId b) {
+    const DisconnectionSet* ds = frag.FindDisconnectionSet(a, b);
+    TCF_CHECK_MSG(ds != nullptr, "chain hop without disconnection set");
+    return NodeSet(ds->nodes.begin(), ds->nodes.end());
+  };
+  plan.chain_specs.resize(plan.chains.size());
+  for (size_t c = 0; c < plan.chains.size(); ++c) {
+    const FragmentChain& chain = plan.chains[c];
+    for (size_t i = 0; i < chain.size(); ++i) {
+      LocalQuerySpec spec;
+      spec.fragment = chain[i];
+      spec.sources =
+          (i == 0) ? NodeSet{from} : ds_nodes(chain[i - 1], chain[i]);
+      spec.targets = (i + 1 == chain.size())
+                         ? NodeSet{to}
+                         : ds_nodes(chain[i], chain[i + 1]);
+      plan.chain_specs[c].push_back(specs->Intern(std::move(spec)));
+    }
+  }
+  return plan;
+}
+
+std::vector<FragmentId> InvolvedFragments(const Fragmentation& frag,
+                                          const QueryPlan& plan,
+                                          const SpecTable& specs) {
+  std::vector<char> involved(frag.NumFragments(), 0);
+  for (const std::vector<size_t>& hops : plan.chain_specs) {
+    for (size_t idx : hops) involved[specs.specs()[idx].fragment] = 1;
+  }
+  std::vector<FragmentId> out;
+  for (FragmentId f = 0; f < frag.NumFragments(); ++f) {
+    if (involved[f]) out.push_back(f);
+  }
+  return out;
 }
 
 std::vector<LocalQueryResult> RunSites(
@@ -66,6 +163,118 @@ Relation AssembleChain(const std::vector<const Relation*>& chain_results,
   }
   if (report != nullptr) report->assembly_seconds += timer.ElapsedSeconds();
   return acc;
+}
+
+QueryAnswer AssembleCostAnswer(const Fragmentation& frag,
+                               const QueryPlan& plan, const SpecTable& specs,
+                               NodeId from, NodeId to,
+                               const std::vector<LocalQueryResult>& results,
+                               ExecutionReport* report) {
+  QueryAnswer answer;
+  answer.chains_considered = plan.chains.size();
+  if (plan.chains.empty()) return answer;
+  answer.fragments_involved = InvolvedFragments(frag, plan, specs);
+
+  // Assemble each chain; the overall best is the answer.
+  for (size_t c = 0; c < plan.chains.size(); ++c) {
+    std::vector<const Relation*> hop_results;
+    hop_results.reserve(plan.chain_specs[c].size());
+    for (size_t idx : plan.chain_specs[c]) {
+      hop_results.push_back(&results[idx].paths);
+    }
+    Relation final = AssembleChain(hop_results, report);
+    const Weight cost = final.BestCost(from, to);
+    if (cost < answer.cost) answer.cost = cost;
+  }
+  answer.connected = answer.cost != kInfinity;
+  return answer;
+}
+
+RouteAnswer AssembleRouteAnswer(const Fragmentation& frag,
+                                const ComplementaryInfo& complementary,
+                                const QueryPlan& plan, const SpecTable& specs,
+                                NodeId from, NodeId to,
+                                const std::vector<LocalQueryResult>& results,
+                                ExecutionReport* report) {
+  RouteAnswer out;
+  out.answer.chains_considered = plan.chains.size();
+  if (plan.chains.empty()) return out;
+  out.answer.fragments_involved = InvolvedFragments(frag, plan, specs);
+  WallTimer timer;
+
+  // Dynamic program over each chain's relay layers, keeping predecessors.
+  // Layers: {from}, DS_1, ..., DS_{m-1}, {to}; hop i's relation connects
+  // layer i to layer i+1.
+  size_t best_chain = 0;
+  Weight best_cost = kInfinity;
+  std::vector<NodeId> best_relays;  // relay node at each layer boundary
+  for (size_t c = 0; c < plan.chains.size(); ++c) {
+    const auto& hop_specs = plan.chain_specs[c];
+    std::unordered_map<NodeId, Weight> dist = {{from, 0.0}};
+    std::vector<std::unordered_map<NodeId, NodeId>> pred(hop_specs.size());
+    for (size_t i = 0; i < hop_specs.size(); ++i) {
+      const Relation& rel = results[hop_specs[i]].paths;
+      std::unordered_map<NodeId, Weight> next;
+      for (const PathTuple& t : rel.tuples()) {
+        auto it = dist.find(t.src);
+        if (it == dist.end()) continue;
+        const Weight d = it->second + t.cost;
+        auto [slot, inserted] = next.emplace(t.dst, d);
+        if (inserted || d < slot->second) {
+          slot->second = d;
+          pred[i][t.dst] = t.src;
+        }
+      }
+      dist = std::move(next);
+    }
+    auto it = dist.find(to);
+    if (it == dist.end() || it->second >= best_cost) continue;
+    best_cost = it->second;
+    best_chain = c;
+    // Backtrack the relay sequence from..to.
+    std::vector<NodeId> relays(hop_specs.size() + 1);
+    relays.back() = to;
+    for (size_t i = hop_specs.size(); i-- > 0;) {
+      relays[i] = pred[i].at(relays[i + 1]);
+    }
+    best_relays = std::move(relays);
+  }
+
+  out.answer.cost = best_cost;
+  out.answer.connected = best_cost != kInfinity;
+  if (!out.answer.connected) {
+    if (report != nullptr) report->assembly_seconds += timer.ElapsedSeconds();
+    return out;
+  }
+
+  // Expand each leg inside its fragment's augmented graph; shortcut hops
+  // (edge ids past the real-edge count) are replaced by their witnesses.
+  const FragmentChain& chain = plan.chains[best_chain];
+  out.route = {from};
+  for (size_t i = 0; i < chain.size(); ++i) {
+    const NodeId u = best_relays[i];
+    const NodeId v = best_relays[i + 1];
+    if (u == v) continue;  // pass-through at a shared border node
+    size_t real_edges = 0;
+    Graph augmented = BuildAugmentedFragment(frag, &complementary, chain[i],
+                                             &real_edges);
+    ShortestPaths sp = Dijkstra(augmented, u);
+    TCF_CHECK_MSG(sp.distance[v] != kInfinity,
+                  "relay pair unreachable during reconstruction");
+    std::vector<NodeId> nodes = sp.PathTo(v);
+    std::vector<EdgeId> edges = sp.EdgesTo(v);
+    for (size_t k = 0; k < edges.size(); ++k) {
+      if (edges[k] < real_edges) {
+        out.route.push_back(nodes[k + 1]);
+      } else {
+        const auto& witness =
+            complementary.witness.at(PairKey(nodes[k], nodes[k + 1]));
+        out.route.insert(out.route.end(), witness.begin() + 1, witness.end());
+      }
+    }
+  }
+  if (report != nullptr) report->assembly_seconds += timer.ElapsedSeconds();
+  return out;
 }
 
 }  // namespace tcf

@@ -3,10 +3,20 @@
 // required during the first phase"), then assemble the answer with "a
 // sequence of binary joins between a number of very small relations"
 // (Sec. 2.1), accounting for the communication the final phase causes.
+//
+// This header is the *re-entrant execution core* shared by the single-query
+// API (dsa/query_api.h) and the batch executor (dsa/batch.h): planning
+// (chain lookup + subquery interning), phase-1 fan-out, and per-chain
+// assembly are all free functions over immutable inputs, so any number of
+// coordinator threads may run queries against the same fragmentation and
+// complementary information concurrently.
 #pragma once
 
+#include <map>
 #include <vector>
 
+#include "dsa/chains.h"
+#include "dsa/complementary.h"
 #include "dsa/local_query.h"
 #include "util/thread_pool.h"
 
@@ -35,11 +45,78 @@ struct ExecutionReport {
   /// (Sec. 2.2's workload-balance issue).
   double SlowestSiteSeconds() const;
   double TotalSiteSeconds() const;
+
+  /// Folds `other`'s counters and site records into this report.
+  void Merge(const ExecutionReport& other);
 };
+
+/// Answer to one query.
+struct QueryAnswer {
+  bool connected = false;
+  Weight cost = kInfinity;            // shortest-path cost (min-plus)
+  size_t chains_considered = 0;
+  std::vector<FragmentId> fragments_involved;  // distinct, phase-1 sites
+};
+
+/// Answer to a route query: the cost plus the realizing node sequence in
+/// the base graph (shortcut hops expanded through the complementary
+/// witnesses). `route` is empty when unconnected, {from} when from == to.
+struct RouteAnswer {
+  QueryAnswer answer;
+  std::vector<NodeId> route;
+};
+
+/// Interning table for keyhole subqueries: one entry per distinct
+/// (fragment, sources, targets) triple, so a fragment computes each
+/// selection once no matter how many chains — or, in a batch, how many
+/// *queries* — need it. Not internally synchronized: each single query
+/// interns into its own table, and the batch executor interns its whole
+/// batch from the coordinator thread before the parallel phase.
+class SpecTable {
+ public:
+  /// Returns the index of `spec`, inserting it if new.
+  size_t Intern(LocalQuerySpec spec);
+
+  const std::vector<LocalQuerySpec>& specs() const { return specs_; }
+  size_t size() const { return specs_.size(); }
+
+ private:
+  std::map<std::tuple<FragmentId, std::vector<NodeId>, std::vector<NodeId>>,
+           size_t>
+      index_;
+  std::vector<LocalQuerySpec> specs_;
+};
+
+/// The shared front half of every query: the chains connecting the two
+/// endpoint fragments, with each hop resolved to an interned subquery.
+struct QueryPlan {
+  std::vector<FragmentChain> chains;
+  /// chain_specs[c][i]: SpecTable index for hop i of chain c.
+  std::vector<std::vector<size_t>> chain_specs;
+  /// Plan-cache accounting for this plan's chain lookups (zero when no
+  /// cache was supplied).
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+};
+
+/// Builds the plan for a (from, to) query: enumerate the chains between
+/// every endpoint-fragment pair (through `chain_cache` when non-null),
+/// dedupe them, and intern one subquery per chain hop into `specs`.
+/// Requires from != to. Thread-safe for concurrent callers as long as each
+/// passes its own SpecTable.
+QueryPlan BuildQueryPlan(const Fragmentation& frag, NodeId from, NodeId to,
+                         size_t max_chains, ChainPlanCache* chain_cache,
+                         SpecTable* specs);
+
+/// The distinct fragments the plan's subqueries touch, ascending.
+std::vector<FragmentId> InvolvedFragments(const Fragmentation& frag,
+                                          const QueryPlan& plan,
+                                          const SpecTable& specs);
 
 /// Runs all `specs` in parallel on `pool` (or sequentially when pool is
 /// null) and appends one SiteReport each. Results are returned in spec
-/// order.
+/// order. Safe to call concurrently from several coordinator threads
+/// sharing one pool.
 std::vector<LocalQueryResult> RunSites(const Fragmentation& frag,
                                        const ComplementaryInfo* complementary,
                                        const std::vector<LocalQuerySpec>& specs,
@@ -50,5 +127,28 @@ std::vector<LocalQueryResult> RunSites(const Fragmentation& frag,
 /// small relation. Join statistics are added to `report`.
 Relation AssembleChain(const std::vector<const Relation*>& chain_results,
                        ExecutionReport* report);
+
+/// Assembles the shortest-path cost answer from phase-1 results, where
+/// `results[i]` answers `specs`' i-th subquery. Handles the empty-plan
+/// (disconnected fragments) case; `from == to` must be short-circuited by
+/// the caller. Only reads shared state, so concurrent assembly of
+/// different queries over one results vector is safe.
+QueryAnswer AssembleCostAnswer(const Fragmentation& frag,
+                               const QueryPlan& plan, const SpecTable& specs,
+                               NodeId from, NodeId to,
+                               const std::vector<LocalQueryResult>& results,
+                               ExecutionReport* report);
+
+/// Assembles the cost *and* the realizing route: a dynamic program over
+/// each chain's relay layers picks the winning chain and relay sequence,
+/// then each leg is re-expanded inside its fragment with shortcut hops
+/// replaced by their complementary witnesses. Same concurrency contract as
+/// AssembleCostAnswer.
+RouteAnswer AssembleRouteAnswer(const Fragmentation& frag,
+                                const ComplementaryInfo& complementary,
+                                const QueryPlan& plan, const SpecTable& specs,
+                                NodeId from, NodeId to,
+                                const std::vector<LocalQueryResult>& results,
+                                ExecutionReport* report);
 
 }  // namespace tcf

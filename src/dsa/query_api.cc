@@ -1,22 +1,6 @@
 #include "dsa/query_api.h"
 
-#include <algorithm>
-#include <map>
-#include <tuple>
-#include <unordered_map>
-
-#include "graph/algorithms.h"
-
 namespace tcf {
-
-/// The shared front half of every query: the chains connecting the two
-/// endpoint fragments and the deduplicated per-fragment subquery specs.
-struct DsaDatabase::QueryPlan {
-  std::vector<FragmentChain> chains;
-  std::vector<LocalQuerySpec> specs;
-  /// chain_specs[c][i]: index into `specs` for hop i of chain c.
-  std::vector<std::vector<size_t>> chain_specs;
-};
 
 DsaDatabase::DsaDatabase(const Fragmentation* frag, DsaOptions options)
     : frag_(frag), options_(options) {
@@ -26,75 +10,31 @@ DsaDatabase::DsaDatabase(const Fragmentation* frag, DsaOptions options)
   } else {
     complementary_.shortcuts.resize(frag_->NumFragments());
   }
+  // The shortcut relations are shared read-only by every concurrent query;
+  // build their lazy lookup indexes now, while we are still single-threaded.
+  for (const Relation& shortcuts : complementary_.shortcuts) {
+    shortcuts.WarmIndexes();
+  }
   const size_t threads = options_.num_threads > 0 ? options_.num_threads
                                                   : frag_->NumFragments();
   pool_ = std::make_unique<ThreadPool>(threads);
+  if (options_.plan_cache_capacity > 0) {
+    plan_cache_ =
+        std::make_unique<ChainPlanCache>(options_.plan_cache_capacity);
+  }
 }
 
-DsaDatabase::QueryPlan DsaDatabase::BuildPlan(NodeId from, NodeId to) const {
-  QueryPlan plan;
-
-  // Locate the query constants; a border node lives in several fragments
-  // and every one of them is a valid chain endpoint.
-  const auto& from_frags = frag_->FragmentsOfNode(from);
-  const auto& to_frags = frag_->FragmentsOfNode(to);
-  for (FragmentId fa : from_frags) {
-    for (FragmentId fb : to_frags) {
-      for (FragmentChain& c :
-           FindChains(*frag_, fa, fb, options_.max_chains)) {
-        if (std::find(plan.chains.begin(), plan.chains.end(), c) ==
-            plan.chains.end()) {
-          plan.chains.push_back(std::move(c));
-        }
-      }
-    }
-  }
-
-  // One subquery per (fragment, sources, targets) — shared between chains
-  // when identical, so a fragment computes each selection once.
-  std::map<std::tuple<FragmentId, std::vector<NodeId>, std::vector<NodeId>>,
-           size_t>
-      spec_index;
-  auto sorted = [](const NodeSet& s) {
-    std::vector<NodeId> v(s.begin(), s.end());
-    std::sort(v.begin(), v.end());
-    return v;
-  };
-  auto ds_nodes = [&](FragmentId a, FragmentId b) {
-    const DisconnectionSet* ds = frag_->FindDisconnectionSet(a, b);
-    TCF_CHECK_MSG(ds != nullptr, "chain hop without disconnection set");
-    return NodeSet(ds->nodes.begin(), ds->nodes.end());
-  };
-  plan.chain_specs.resize(plan.chains.size());
-  for (size_t c = 0; c < plan.chains.size(); ++c) {
-    const FragmentChain& chain = plan.chains[c];
-    for (size_t i = 0; i < chain.size(); ++i) {
-      LocalQuerySpec spec;
-      spec.fragment = chain[i];
-      spec.sources =
-          (i == 0) ? NodeSet{from} : ds_nodes(chain[i - 1], chain[i]);
-      spec.targets = (i + 1 == chain.size())
-                         ? NodeSet{to}
-                         : ds_nodes(chain[i], chain[i + 1]);
-      auto key = std::make_tuple(spec.fragment, sorted(spec.sources),
-                                 sorted(spec.targets));
-      auto it = spec_index.find(key);
-      if (it == spec_index.end()) {
-        it = spec_index.emplace(std::move(key), plan.specs.size()).first;
-        plan.specs.push_back(std::move(spec));
-      }
-      plan.chain_specs[c].push_back(it->second);
-    }
-  }
-  return plan;
+QueryPlan DsaDatabase::Plan(NodeId from, NodeId to, SpecTable* specs) const {
+  return BuildQueryPlan(*frag_, from, to, options_.max_chains,
+                        plan_cache_.get(), specs);
 }
 
 QueryAnswer DsaDatabase::ShortestPath(NodeId from, NodeId to,
                                       ExecutionReport* report) const {
   TCF_CHECK(from < frag_->graph().NumNodes());
   TCF_CHECK(to < frag_->graph().NumNodes());
-  QueryAnswer answer;
   if (from == to) {
+    QueryAnswer answer;
     answer.connected = true;
     answer.cost = 0.0;
     return answer;
@@ -102,32 +42,17 @@ QueryAnswer DsaDatabase::ShortestPath(NodeId from, NodeId to,
 
   const ComplementaryInfo* comp =
       options_.use_complementary ? &complementary_ : nullptr;
-  QueryPlan plan = BuildPlan(from, to);
-  answer.chains_considered = plan.chains.size();
-  if (plan.chains.empty()) return answer;
+  SpecTable specs;
+  QueryPlan plan = Plan(from, to, &specs);
+  if (plan.chains.empty()) {
+    QueryAnswer answer;
+    answer.chains_considered = 0;
+    return answer;
+  }
 
   std::vector<LocalQueryResult> results = RunSites(
-      *frag_, comp, plan.specs, options_.engine, pool_.get(), report);
-
-  std::vector<char> involved(frag_->NumFragments(), 0);
-  for (const LocalQuerySpec& spec : plan.specs) involved[spec.fragment] = 1;
-  for (FragmentId f = 0; f < frag_->NumFragments(); ++f) {
-    if (involved[f]) answer.fragments_involved.push_back(f);
-  }
-
-  // Assemble each chain; the overall best is the answer.
-  for (size_t c = 0; c < plan.chains.size(); ++c) {
-    std::vector<const Relation*> hop_results;
-    hop_results.reserve(plan.chain_specs[c].size());
-    for (size_t idx : plan.chain_specs[c]) {
-      hop_results.push_back(&results[idx].paths);
-    }
-    Relation final = AssembleChain(hop_results, report);
-    const Weight cost = final.BestCost(from, to);
-    if (cost < answer.cost) answer.cost = cost;
-  }
-  answer.connected = answer.cost != kInfinity;
-  return answer;
+      *frag_, comp, specs.specs(), options_.engine, pool_.get(), report);
+  return AssembleCostAnswer(*frag_, plan, specs, from, to, results, report);
 }
 
 RouteAnswer DsaDatabase::ShortestRoute(NodeId from, NodeId to,
@@ -136,98 +61,23 @@ RouteAnswer DsaDatabase::ShortestRoute(NodeId from, NodeId to,
   TCF_CHECK(to < frag_->graph().NumNodes());
   TCF_CHECK_MSG(options_.use_complementary,
                 "route reconstruction requires complementary information");
-  RouteAnswer out;
   if (from == to) {
+    RouteAnswer out;
     out.answer.connected = true;
     out.answer.cost = 0.0;
     out.route = {from};
     return out;
   }
 
-  QueryPlan plan = BuildPlan(from, to);
-  out.answer.chains_considered = plan.chains.size();
-  if (plan.chains.empty()) return out;
+  SpecTable specs;
+  QueryPlan plan = Plan(from, to, &specs);
+  if (plan.chains.empty()) return RouteAnswer{};
 
   std::vector<LocalQueryResult> results =
-      RunSites(*frag_, &complementary_, plan.specs, options_.engine,
+      RunSites(*frag_, &complementary_, specs.specs(), options_.engine,
                pool_.get(), report);
-
-  std::vector<char> involved(frag_->NumFragments(), 0);
-  for (const LocalQuerySpec& spec : plan.specs) involved[spec.fragment] = 1;
-  for (FragmentId f = 0; f < frag_->NumFragments(); ++f) {
-    if (involved[f]) out.answer.fragments_involved.push_back(f);
-  }
-
-  // Dynamic program over each chain's relay layers, keeping predecessors.
-  // Layers: {from}, DS_1, ..., DS_{m-1}, {to}; hop i's relation connects
-  // layer i to layer i+1.
-  size_t best_chain = 0;
-  Weight best_cost = kInfinity;
-  std::vector<NodeId> best_relays;  // relay node at each layer boundary
-  for (size_t c = 0; c < plan.chains.size(); ++c) {
-    const auto& hop_specs = plan.chain_specs[c];
-    std::unordered_map<NodeId, Weight> dist = {{from, 0.0}};
-    std::vector<std::unordered_map<NodeId, NodeId>> pred(hop_specs.size());
-    for (size_t i = 0; i < hop_specs.size(); ++i) {
-      const Relation& rel = results[hop_specs[i]].paths;
-      std::unordered_map<NodeId, Weight> next;
-      for (const PathTuple& t : rel.tuples()) {
-        auto it = dist.find(t.src);
-        if (it == dist.end()) continue;
-        const Weight d = it->second + t.cost;
-        auto [slot, inserted] = next.emplace(t.dst, d);
-        if (inserted || d < slot->second) {
-          slot->second = d;
-          pred[i][t.dst] = t.src;
-        }
-      }
-      dist = std::move(next);
-    }
-    auto it = dist.find(to);
-    if (it == dist.end() || it->second >= best_cost) continue;
-    best_cost = it->second;
-    best_chain = c;
-    // Backtrack the relay sequence from..to.
-    std::vector<NodeId> relays(hop_specs.size() + 1);
-    relays.back() = to;
-    for (size_t i = hop_specs.size(); i-- > 0;) {
-      relays[i] = pred[i].at(relays[i + 1]);
-    }
-    best_relays = std::move(relays);
-  }
-
-  out.answer.cost = best_cost;
-  out.answer.connected = best_cost != kInfinity;
-  if (!out.answer.connected) return out;
-
-  // Expand each leg inside its fragment's augmented graph; shortcut hops
-  // (edge ids past the real-edge count) are replaced by their witnesses.
-  const FragmentChain& chain = plan.chains[best_chain];
-  out.route = {from};
-  for (size_t i = 0; i < chain.size(); ++i) {
-    const NodeId u = best_relays[i];
-    const NodeId v = best_relays[i + 1];
-    if (u == v) continue;  // pass-through at a shared border node
-    size_t real_edges = 0;
-    Graph augmented = BuildAugmentedFragment(*frag_, &complementary_,
-                                             chain[i], &real_edges);
-    ShortestPaths sp = Dijkstra(augmented, u);
-    TCF_CHECK_MSG(sp.distance[v] != kInfinity,
-                  "relay pair unreachable during reconstruction");
-    std::vector<NodeId> nodes = sp.PathTo(v);
-    std::vector<EdgeId> edges = sp.EdgesTo(v);
-    for (size_t k = 0; k < edges.size(); ++k) {
-      if (edges[k] < real_edges) {
-        out.route.push_back(nodes[k + 1]);
-      } else {
-        const auto& witness =
-            complementary_.witness.at(PairKey(nodes[k], nodes[k + 1]));
-        out.route.insert(out.route.end(), witness.begin() + 1,
-                         witness.end());
-      }
-    }
-  }
-  return out;
+  return AssembleRouteAnswer(*frag_, complementary_, plan, specs, from, to,
+                             results, report);
 }
 
 bool DsaDatabase::IsConnected(NodeId from, NodeId to,

@@ -3,10 +3,15 @@
 // information once (the paper's amortized pre-processing), and answers
 // connection and shortest-path queries by
 //   1. locating the fragments of the two query constants,
-//   2. finding the chain(s) of fragments connecting them,
+//   2. finding the chain(s) of fragments connecting them (served from a
+//      thread-safe LRU plan cache — chain enumeration is pure
+//      fragmentation-graph work, so hot fragment pairs are enumerated once),
 //   3. running one independent subquery per fragment on the chain(s), in
 //      parallel, with the disconnection sets as keyhole selections,
 //   4. assembling the per-fragment answers with small binary joins.
+//
+// For answering *many* queries at once — sharing subqueries across queries
+// as well as across chains — see dsa/batch.h.
 #pragma once
 
 #include <memory>
@@ -26,27 +31,19 @@ struct DsaOptions {
   /// Ablation switch: evaluate without the complementary information
   /// (answers may then be over-estimates; see EXPERIMENTS.md).
   bool use_complementary = true;
-};
-
-/// Answer to one query.
-struct QueryAnswer {
-  bool connected = false;
-  Weight cost = kInfinity;            // shortest-path cost (min-plus)
-  size_t chains_considered = 0;
-  std::vector<FragmentId> fragments_involved;  // distinct, phase-1 sites
-};
-
-/// Answer to a route query: the cost plus the realizing node sequence in
-/// the base graph (shortcut hops expanded through the complementary
-/// witnesses). `route` is empty when unconnected, {from} when from == to.
-struct RouteAnswer {
-  QueryAnswer answer;
-  std::vector<NodeId> route;
+  /// Capacity of the chain-plan LRU cache (entries are fragment pairs);
+  /// 0 disables plan caching.
+  size_t plan_cache_capacity = 4096;
 };
 
 /// A fragmented database ready to answer transitive-closure queries.
-/// Not thread-safe for concurrent queries (each query uses the internal
-/// pool for its own parallelism).
+///
+/// Thread-safety contract: after construction, all query methods are
+/// re-entrant and safe to call concurrently from any number of threads.
+/// Every query runs its phase-1 subqueries on the one pool owned by the
+/// database (sized by DsaOptions::num_threads), and the chain-plan cache is
+/// internally synchronized. The fragmentation must stay immutable while
+/// queries run (it always is — Fragmentation is immutable by construction).
 class DsaDatabase {
  public:
   /// `frag` must outlive the database. Precomputes complementary info.
@@ -74,14 +71,27 @@ class DsaDatabase {
   bool IsConnected(NodeId from, NodeId to,
                    ExecutionReport* report = nullptr) const;
 
+  /// The shared chain-plan cache (nullptr when disabled). Exposed for
+  /// cache-hit-rate reporting in benches and tests.
+  const ChainPlanCache* plan_cache() const { return plan_cache_.get(); }
+
+  /// The phase-1 pool shared by all queries against this database. The
+  /// batch executor schedules its deduplicated subqueries here too, so
+  /// single and batched queries draw from one set of site workers.
+  ThreadPool* pool() const { return pool_.get(); }
+
  private:
-  struct QueryPlan;
-  QueryPlan BuildPlan(NodeId from, NodeId to) const;
+  friend class BatchExecutor;
+
+  /// Plans `from` -> `to` through the plan cache, interning subqueries
+  /// into `specs`.
+  QueryPlan Plan(NodeId from, NodeId to, SpecTable* specs) const;
 
   const Fragmentation* frag_;
   DsaOptions options_;
   ComplementaryInfo complementary_;
   mutable std::unique_ptr<ThreadPool> pool_;
+  mutable std::unique_ptr<ChainPlanCache> plan_cache_;
 };
 
 }  // namespace tcf

@@ -1,0 +1,140 @@
+#include "dsa/workload.h"
+
+#include <deque>
+
+namespace tcf {
+
+const char* WorkloadMixName(WorkloadMix mix) {
+  switch (mix) {
+    case WorkloadMix::kUniform: return "uniform";
+    case WorkloadMix::kHotPair: return "hot-pair";
+    case WorkloadMix::kWithinFragment: return "within-fragment";
+    case WorkloadMix::kCrossChain: return "cross-chain";
+  }
+  return "?";
+}
+
+namespace {
+
+NodeId UniformNode(const Graph& g, Rng* rng) {
+  return static_cast<NodeId>(rng->NextBounded(g.NumNodes()));
+}
+
+NodeId NodeOfFragment(const Fragmentation& frag, FragmentId f, Rng* rng) {
+  const std::vector<NodeId>& nodes = frag.FragmentNodes(f);
+  return nodes[rng->NextBounded(nodes.size())];
+}
+
+/// Hop distances from `from` in the fragmentation graph; kInvalid for
+/// unreachable fragments.
+std::vector<size_t> FragmentHops(const Fragmentation& frag, FragmentId from) {
+  constexpr size_t kUnreached = static_cast<size_t>(-1);
+  std::vector<size_t> hops(frag.NumFragments(), kUnreached);
+  hops[from] = 0;
+  std::deque<FragmentId> queue = {from};
+  while (!queue.empty()) {
+    const FragmentId f = queue.front();
+    queue.pop_front();
+    for (FragmentId next : frag.FragmentNeighbors(f)) {
+      if (hops[next] != kUnreached) continue;
+      hops[next] = hops[f] + 1;
+      queue.push_back(next);
+    }
+  }
+  return hops;
+}
+
+}  // namespace
+
+std::vector<Query> GenerateWorkload(const Fragmentation& frag,
+                                    const WorkloadSpec& spec, Rng* rng) {
+  TCF_CHECK(rng != nullptr);
+  const Graph& g = frag.graph();
+  TCF_CHECK(g.NumNodes() > 0);
+
+  std::vector<Query> queries;
+  queries.reserve(spec.num_queries);
+  auto push = [&](NodeId from, NodeId to) {
+    queries.push_back(Query{from, to, spec.kind});
+  };
+
+  switch (spec.mix) {
+    case WorkloadMix::kUniform: {
+      for (size_t i = 0; i < spec.num_queries; ++i) {
+        push(UniformNode(g, rng), UniformNode(g, rng));
+      }
+      break;
+    }
+
+    case WorkloadMix::kHotPair: {
+      const size_t num_hot = std::max<size_t>(1, spec.num_hot_pairs);
+      std::vector<std::pair<NodeId, NodeId>> hot;
+      hot.reserve(num_hot);
+      for (size_t i = 0; i < num_hot; ++i) {
+        hot.emplace_back(UniformNode(g, rng), UniformNode(g, rng));
+      }
+      for (size_t i = 0; i < spec.num_queries; ++i) {
+        if (rng->NextBool(spec.hot_fraction)) {
+          const auto& [from, to] = hot[rng->NextBounded(hot.size())];
+          push(from, to);
+        } else {
+          push(UniformNode(g, rng), UniformNode(g, rng));
+        }
+      }
+      break;
+    }
+
+    case WorkloadMix::kWithinFragment: {
+      if (frag.NumFragments() == 0) {
+        for (size_t i = 0; i < spec.num_queries; ++i) {
+          push(UniformNode(g, rng), UniformNode(g, rng));
+        }
+        break;
+      }
+      for (size_t i = 0; i < spec.num_queries; ++i) {
+        const FragmentId f =
+            static_cast<FragmentId>(rng->NextBounded(frag.NumFragments()));
+        push(NodeOfFragment(frag, f, rng), NodeOfFragment(frag, f, rng));
+      }
+      break;
+    }
+
+    case WorkloadMix::kCrossChain: {
+      if (frag.NumFragments() < 2) {
+        for (size_t i = 0; i < spec.num_queries; ++i) {
+          push(UniformNode(g, rng), UniformNode(g, rng));
+        }
+        break;
+      }
+      // Per source fragment, the fragments at maximal hop distance in the
+      // fragmentation graph — the connecting chain is then as long as the
+      // fragmentation allows. One BFS per fragment, reused by all queries.
+      std::vector<std::vector<FragmentId>> farthest_of(frag.NumFragments());
+      for (FragmentId a = 0; a < frag.NumFragments(); ++a) {
+        const std::vector<size_t> hops = FragmentHops(frag, a);
+        size_t max_hops = 0;
+        for (FragmentId f = 0; f < frag.NumFragments(); ++f) {
+          if (hops[f] != static_cast<size_t>(-1)) {
+            max_hops = std::max(max_hops, hops[f]);
+          }
+        }
+        for (FragmentId f = 0; f < frag.NumFragments(); ++f) {
+          if (hops[f] == max_hops && f != a) farthest_of[a].push_back(f);
+        }
+      }
+      for (size_t i = 0; i < spec.num_queries; ++i) {
+        const FragmentId a =
+            static_cast<FragmentId>(rng->NextBounded(frag.NumFragments()));
+        const std::vector<FragmentId>& farthest = farthest_of[a];
+        const FragmentId b =
+            farthest.empty() ? a
+                             : farthest[rng->NextBounded(farthest.size())];
+        push(NodeOfFragment(frag, a, rng), NodeOfFragment(frag, b, rng));
+      }
+      break;
+    }
+  }
+  return queries;
+}
+
+}  // namespace tcf

@@ -1,0 +1,47 @@
+// Standardized multi-query workload generation for the batch layer, in the
+// style of workload suites like SMOL: a WorkloadSpec names a query mix and
+// a size, and GenerateWorkload materializes a deterministic query vector
+// for a concrete fragmentation. The mixes stress different parts of the
+// execution pipeline:
+//
+//   kUniform         — endpoints uniform over all nodes: baseline, little
+//                      sharing beyond chance collisions.
+//   kHotPair         — a Zipf-like skew: most queries repeat a small set of
+//                      hot endpoint pairs. The best case for the chain-plan
+//                      cache and cross-query subquery deduplication.
+//   kWithinFragment  — both endpoints in one fragment: single-site queries
+//                      that never touch a disconnection set.
+//   kCrossChain      — endpoints in fragments far apart in the
+//                      fragmentation graph: maximum-length chains, the
+//                      worst case for phase-2 assembly.
+#pragma once
+
+#include <vector>
+
+#include "dsa/batch.h"
+#include "util/rng.h"
+
+namespace tcf {
+
+enum class WorkloadMix { kUniform, kHotPair, kWithinFragment, kCrossChain };
+
+const char* WorkloadMixName(WorkloadMix mix);
+
+struct WorkloadSpec {
+  WorkloadMix mix = WorkloadMix::kUniform;
+  size_t num_queries = 1000;
+  /// Kind stamped on every generated query.
+  QueryKind kind = QueryKind::kCost;
+  /// kHotPair: fraction of queries drawn from the hot set and its size.
+  double hot_fraction = 0.9;
+  size_t num_hot_pairs = 8;
+};
+
+/// Generates `spec.num_queries` queries over `frag`'s graph, deterministic
+/// in `rng`'s state. Mixes that need structure the fragmentation cannot
+/// offer (e.g. kCrossChain on a single-fragment database) degrade to the
+/// nearest simpler mix rather than failing.
+std::vector<Query> GenerateWorkload(const Fragmentation& frag,
+                                    const WorkloadSpec& spec, Rng* rng);
+
+}  // namespace tcf

@@ -77,8 +77,17 @@ class Relation {
 
   /// Lookup the best (minimum) cost for (src, dst); kInfinity if absent.
   /// Builds a hash index on first use; invalidated by any mutation after
-  /// that.
+  /// that. The lazy build means a *const* Relation is not safe to query
+  /// from several threads until the indexes exist — see WarmIndexes().
   Weight BestCost(NodeId src, NodeId dst) const;
+  /// Builds both lookup indexes now. Call once, single-threaded, before
+  /// sharing a read-only Relation across threads: afterwards BestCost /
+  /// MaxCost / Contains are pure reads and safe to call concurrently (as
+  /// long as nobody mutates the relation).
+  void WarmIndexes() const {
+    EnsureIndex();
+    EnsureMaxIndex();
+  }
   /// Lookup the best (maximum) capacity for (src, dst); 0 if absent.
   Weight MaxCost(NodeId src, NodeId dst) const;
   bool Contains(NodeId src, NodeId dst) const {

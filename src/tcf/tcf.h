@@ -14,6 +14,7 @@
 //   auto answer = db.ShortestPath(0, 99);
 #pragma once
 
+#include "dsa/batch.h"           // IWYU pragma: export
 #include "dsa/bottleneck.h"      // IWYU pragma: export
 #include "dsa/chains.h"          // IWYU pragma: export
 #include "dsa/complementary.h"   // IWYU pragma: export
@@ -45,6 +46,7 @@
 #include "relational/transitive_closure.h"  // IWYU pragma: export
 #include "relational/warshall.h"            // IWYU pragma: export
 #include "util/logging.h"      // IWYU pragma: export
+#include "util/lru_cache.h"    // IWYU pragma: export
 #include "util/rng.h"          // IWYU pragma: export
 #include "util/stats.h"        // IWYU pragma: export
 #include "util/status.h"       // IWYU pragma: export

@@ -1,0 +1,144 @@
+// A small thread-safe LRU cache. Values are handed out as
+// shared_ptr<const V> so an entry can be evicted while readers still hold
+// it; the storage is reclaimed when the last reader drops its reference.
+// Built for read-mostly caches of pure computations (the DSA chain-plan
+// cache): on a miss the factory runs *outside* the lock, so two threads
+// racing on the same cold key may both compute it — the duplicate result is
+// simply dropped, which is cheaper than holding the lock across an
+// arbitrary computation and always deadlock-free.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/status.h"
+
+namespace tcf {
+
+/// Cumulative counters of one cache. Hits and misses count Get/GetOrCompute
+/// lookups; evictions counts capacity-driven removals.
+struct LruCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+  size_t entries = 0;
+
+  double HitRate() const {
+    const size_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  /// `capacity` is the maximum number of resident entries (>= 1).
+  explicit LruCache(size_t capacity) : capacity_(capacity) {
+    TCF_CHECK(capacity >= 1);
+  }
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Returns the cached value, refreshing its recency, or nullptr.
+  std::shared_ptr<const Value> Get(const Key& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->value;
+  }
+
+  /// Inserts (or refreshes) `value` under `key`, evicting the least
+  /// recently used entry when over capacity.
+  void Put(const Key& key, std::shared_ptr<const Value> value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PutLocked(key, std::move(value));
+  }
+
+  /// Get, or compute-and-insert on a miss. `factory()` must return
+  /// something convertible to shared_ptr<const Value> and runs without the
+  /// cache lock held. `was_hit_out`, if non-null, reports whether this
+  /// lookup was served from cache.
+  template <typename Factory>
+  std::shared_ptr<const Value> GetOrCompute(const Key& key, Factory&& factory,
+                                            bool* was_hit_out = nullptr) {
+    if (std::shared_ptr<const Value> hit = Get(key)) {
+      if (was_hit_out != nullptr) *was_hit_out = true;
+      return hit;
+    }
+    if (was_hit_out != nullptr) *was_hit_out = false;
+    std::shared_ptr<const Value> value = factory();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        // A concurrent thread computed the same key first; keep its entry
+        // (both values are equal by purity of the factory).
+        order_.splice(order_.begin(), order_, it->second);
+        return it->second->value;
+      }
+      PutLocked(key, value);
+    }
+    return value;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+  }
+
+  LruCacheStats Stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    LruCacheStats out = stats_;
+    out.entries = index_.size();
+    return out;
+  }
+
+  /// Drops all entries; counters are kept.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    std::shared_ptr<const Value> value;
+  };
+
+  void PutLocked(const Key& key, std::shared_ptr<const Value> value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->value = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.push_front(Entry{key, std::move(value)});
+    index_.emplace(key, order_.begin());
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back().key);
+      order_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> order_;  // front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index_;
+  LruCacheStats stats_;
+};
+
+}  // namespace tcf

@@ -1,0 +1,215 @@
+// Concurrency hammer for the re-entrant execution core: many threads issue
+// single queries and whole batches against ONE DsaDatabase — shared
+// thread pool, shared chain-plan cache, shared complementary information —
+// while validating every answer against sequentially precomputed expected
+// results. Run under TSan in CI (the `sanitize` matrix leg), this suite is
+// what turns the "thread-safe for concurrent queries" contract of
+// dsa/query_api.h from a comment into a checked property.
+//
+// Failures are counted atomically per thread and asserted after join:
+// GoogleTest assertion bookkeeping is not guaranteed thread-safe, and
+// counting keeps the hammer loop free of test-framework synchronization
+// that could mask real races.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "dsa/batch.h"
+#include "dsa/workload.h"
+#include "fragment/center_based.h"
+#include "fragment/linear.h"
+#include "graph/generator.h"
+
+namespace tcf {
+namespace {
+
+constexpr size_t kThreads = 8;
+
+struct Fixture {
+  explicit Fixture(uint64_t seed, bool cyclic = false) {
+    Rng rng(seed);
+    TransportationGraphOptions gopts;
+    gopts.num_clusters = 3;
+    gopts.nodes_per_cluster = 10;
+    gopts.target_edges_per_cluster = 40;
+    graph = GenerateTransportationGraph(gopts, &rng).graph;
+    if (cyclic) {
+      CenterBasedOptions copts;
+      copts.num_fragments = 4;
+      copts.distributed_centers = true;
+      frag = std::make_unique<Fragmentation>(
+          CenterBasedFragmentation(graph, copts));
+    } else {
+      LinearOptions lopts;
+      lopts.num_fragments = 4;
+      frag = std::make_unique<Fragmentation>(
+          LinearFragmentation(graph, lopts).fragmentation);
+    }
+    DsaOptions dopts;
+    dopts.num_threads = 4;  // shared pool smaller than the hammer threads
+    db = std::make_unique<DsaDatabase>(frag.get(), dopts);
+  }
+
+  Graph graph;
+  std::unique_ptr<Fragmentation> frag;
+  std::unique_ptr<DsaDatabase> db;
+};
+
+/// All-pairs query set with sequentially precomputed expected costs.
+struct Expected {
+  std::vector<Query> queries;
+  std::vector<Weight> costs;
+};
+
+Expected Precompute(const DsaDatabase& db, size_t num_queries,
+                    uint64_t seed) {
+  Expected out;
+  WorkloadSpec spec;
+  spec.mix = WorkloadMix::kHotPair;
+  spec.num_queries = num_queries;
+  spec.num_hot_pairs = 12;
+  Rng rng(seed);
+  out.queries = GenerateWorkload(db.fragmentation(), spec, &rng);
+  out.costs.reserve(out.queries.size());
+  for (const Query& q : out.queries) {
+    out.costs.push_back(db.ShortestPath(q.from, q.to).cost);
+  }
+  return out;
+}
+
+TEST(Concurrency, SingleQueriesFromManyThreads) {
+  Fixture fx(101);
+  const Expected expected = Precompute(*fx.db, 160, 9);
+
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      // Each thread walks the whole query set from its own offset, so all
+      // threads hit the same hot plans at different times.
+      for (size_t i = 0; i < expected.queries.size(); ++i) {
+        const size_t j = (i + t * 17) % expected.queries.size();
+        const Query& q = expected.queries[j];
+        const QueryAnswer answer = fx.db->ShortestPath(q.from, q.to);
+        if (answer.cost != expected.costs[j]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(Concurrency, BatchesFromManyThreads) {
+  Fixture fx(102, /*cyclic=*/true);
+  BatchExecutor executor(fx.db.get());
+  const Expected expected = Precompute(*fx.db, 120, 10);
+
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      // Each thread executes a different rotation of the same query set as
+      // one batch, twice, so concurrent batches overlap heavily on specs
+      // and plans.
+      std::vector<Query> batch;
+      batch.reserve(expected.queries.size());
+      for (size_t i = 0; i < expected.queries.size(); ++i) {
+        batch.push_back(expected.queries[(i + t * 29) %
+                                         expected.queries.size()]);
+      }
+      for (int round = 0; round < 2; ++round) {
+        const BatchResult result = executor.Execute(batch);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const size_t j = (i + t * 29) % expected.queries.size();
+          if (result.answers[i].answer.cost != expected.costs[j]) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(Concurrency, MixedSinglesBatchesAndRoutes) {
+  Fixture fx(103);
+  BatchExecutor executor(fx.db.get());
+  const Expected expected = Precompute(*fx.db, 90, 11);
+
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      if (t % 2 == 0) {
+        // Batch threads, with route reconstruction in the mix.
+        std::vector<Query> batch;
+        for (size_t i = 0; i < expected.queries.size(); ++i) {
+          Query q = expected.queries[i];
+          q.kind = (i + t) % 2 == 0 ? QueryKind::kCost : QueryKind::kRoute;
+          batch.push_back(q);
+        }
+        const BatchResult result = executor.Execute(batch);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (result.answers[i].answer.cost != expected.costs[i]) {
+            ++mismatches;
+          }
+        }
+      } else {
+        // Single-query threads alternating all three entry points.
+        for (size_t i = 0; i < expected.queries.size(); ++i) {
+          const Query& q = expected.queries[i];
+          Weight got = kInfinity;
+          switch (i % 3) {
+            case 0:
+              got = fx.db->ShortestPath(q.from, q.to).cost;
+              break;
+            case 1:
+              got = fx.db->ShortestRoute(q.from, q.to).answer.cost;
+              break;
+            case 2:
+              got = fx.db->IsConnected(q.from, q.to)
+                        ? expected.costs[i]
+                        : kInfinity;
+              break;
+          }
+          if (got != expected.costs[i]) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(Concurrency, PlanCacheUnderContention) {
+  // A tiny-capacity cache forces constant eviction while 8 threads look up
+  // overlapping fragment pairs; every returned chain list must equal the
+  // uncached FindChains answer.
+  Fixture fx(104, /*cyclic=*/true);
+  const Fragmentation& frag = *fx.frag;
+  ChainPlanCache cache(2);
+
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      const size_t n = frag.NumFragments();
+      for (size_t round = 0; round < 50; ++round) {
+        const FragmentId a = static_cast<FragmentId>((round + t) % n);
+        const FragmentId b = static_cast<FragmentId>((round * 3 + t) % n);
+        auto chains = cache.ChainsBetween(frag, a, b, 64);
+        if (*chains != FindChains(frag, a, b, 64)) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  const LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * 50u);
+  EXPECT_LE(stats.entries, 2u);
+}
+
+}  // namespace
+}  // namespace tcf

@@ -1,0 +1,59 @@
+// The heavy half of the dsa_test split: the full fragmenter × engine grid
+// of the central invariant (DsaDatabase == whole-graph Dijkstra oracle) on
+// the larger sweep graphs. Kept out of dsa_test.cc so the default suite
+// stays fast; the grid itself is trimmed where an engine is known to blow
+// up (the relational Smart engine squares relations, and a random
+// fragmentation maximizes border width, so that cell uses a smaller
+// graph).
+#include <gtest/gtest.h>
+
+#include "dsa_sweep.h"
+
+namespace tcf {
+namespace {
+
+using dsa_sweep::ExpectMatchesOracle;
+using dsa_sweep::Fragmenter;
+using dsa_sweep::MakeFragmentation;
+using dsa_sweep::MakeTransport;
+
+struct HeavyParam {
+  uint64_t seed;
+  Fragmenter fragmenter;
+  LocalEngine engine;
+  size_t clusters = 4;
+  size_t nodes_per_cluster = 15;
+};
+
+class DsaOracleSweep : public ::testing::TestWithParam<HeavyParam> {};
+
+TEST_P(DsaOracleSweep, MatchesDijkstraOracle) {
+  const HeavyParam p = GetParam();
+  auto t = MakeTransport(p.seed, p.clusters, p.nodes_per_cluster);
+  Fragmentation frag = MakeFragmentation(t.graph, p.fragmenter, p.seed);
+  ExpectMatchesOracle(t.graph, frag, p.engine, p.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DsaOracleSweep,
+    ::testing::Values(
+        HeavyParam{1, Fragmenter::kCenter, LocalEngine::kDijkstra},
+        HeavyParam{2, Fragmenter::kCenter, LocalEngine::kSemiNaive},
+        HeavyParam{3, Fragmenter::kCenterDistributed, LocalEngine::kDijkstra},
+        HeavyParam{4, Fragmenter::kCenterDistributed, LocalEngine::kSmart},
+        HeavyParam{5, Fragmenter::kBondEnergy, LocalEngine::kDijkstra},
+        HeavyParam{6, Fragmenter::kBondEnergy, LocalEngine::kSemiNaive},
+        HeavyParam{7, Fragmenter::kLinear, LocalEngine::kDijkstra},
+        HeavyParam{8, Fragmenter::kLinear, LocalEngine::kSemiNaive},
+        // Random fragmentations maximize border width, which multiplies
+        // subquery cost; 3x10 keeps these cells honest but bounded.
+        HeavyParam{9, Fragmenter::kRandom, LocalEngine::kDijkstra, 3, 10},
+        HeavyParam{10, Fragmenter::kRandom, LocalEngine::kSemiNaive, 3, 10},
+        HeavyParam{11, Fragmenter::kLinear, LocalEngine::kSmart, 4, 12},
+        // Smart squaring over the wide borders of a random fragmentation
+        // is the suite's one pathological cell; a 3x10 graph still
+        // exercises it without dominating the wall-time.
+        HeavyParam{12, Fragmenter::kRandom, LocalEngine::kSmart, 3, 10}));
+
+}  // namespace
+}  // namespace tcf

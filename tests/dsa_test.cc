@@ -1,7 +1,8 @@
-// Tests for the disconnection set approach substrate: complementary
-// information, chain finding, local queries (all engines), the executor,
-// and — the central invariant — DsaDatabase answers equal the whole-graph
-// Dijkstra oracle for every fragmentation produced by every algorithm.
+// Fast tests for the disconnection set approach substrate: complementary
+// information, chain finding, the plan cache, local queries (all engines),
+// the executor, and a small sweep of the central invariant — DsaDatabase
+// answers equal the whole-graph Dijkstra oracle. The full fragmenter ×
+// engine sweep on larger graphs lives in dsa_heavy_test.cc.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -11,26 +12,16 @@
 #include "dsa/complementary.h"
 #include "dsa/local_query.h"
 #include "dsa/query_api.h"
-#include "fragment/bond_energy.h"
-#include "fragment/center_based.h"
-#include "fragment/linear.h"
-#include "fragment/random_partition.h"
-#include "graph/algorithms.h"
+#include "dsa_sweep.h"
 #include "graph/builder.h"
-#include "graph/generator.h"
 
 namespace tcf {
 namespace {
 
-TransportationGraph MakeTransport(uint64_t seed, size_t clusters = 4,
-                                  size_t nodes = 15) {
-  TransportationGraphOptions opts;
-  opts.num_clusters = clusters;
-  opts.nodes_per_cluster = nodes;
-  opts.target_edges_per_cluster = static_cast<double>(nodes) * 4;
-  Rng rng(seed);
-  return GenerateTransportationGraph(opts, &rng);
-}
+using dsa_sweep::ExpectMatchesOracle;
+using dsa_sweep::Fragmenter;
+using dsa_sweep::MakeFragmentation;
+using dsa_sweep::MakeTransport;
 
 /// A hand-built 3-fragment chain: clusters {0,1,2}, {2,3,4}, {4,5,6} with
 /// border nodes 2 and 4 and distinct weights so shortest paths are unique.
@@ -322,104 +313,99 @@ TEST(DsaDatabase, WithoutComplementaryOverestimatesSideBranchDetours) {
   EXPECT_DOUBLE_EQ(db_without.ShortestPath(0, 3).cost, 12.0);
 }
 
-// ---- Central property: DSA == oracle for every fragmenter, both engines.
 
-enum class Fragmenter { kCenter, kCenterDistributed, kBondEnergy, kLinear,
-                        kRandom };
+// ------------------------------------------------------- ChainPlanCache
 
-struct DsaParam {
+TEST(ChainPlanCache, CachesByFragmentPair) {
+  ChainFixture fx;
+  ChainPlanCache cache(16);
+  auto first = cache.ChainsBetween(*fx.frag, 0, 2, 64);
+  ASSERT_EQ(first->size(), 1u);
+  EXPECT_EQ(first->front(), (FragmentChain{0, 1, 2}));
+
+  bool was_hit = false;
+  auto second = cache.ChainsBetween(*fx.frag, 0, 2, 64, &was_hit);
+  EXPECT_TRUE(was_hit);
+  EXPECT_EQ(first.get(), second.get());  // same shared entry
+
+  const LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ChainPlanCache, DirectionMatters) {
+  ChainFixture fx;
+  ChainPlanCache cache(16);
+  auto forward = cache.ChainsBetween(*fx.frag, 0, 2, 64);
+  bool was_hit = true;
+  auto backward = cache.ChainsBetween(*fx.frag, 2, 0, 64, &was_hit);
+  EXPECT_FALSE(was_hit);  // (2, 0) is a distinct key
+  EXPECT_EQ(forward->front(), (FragmentChain{0, 1, 2}));
+  EXPECT_EQ(backward->front(), (FragmentChain{2, 1, 0}));
+}
+
+TEST(ChainPlanCache, EvictsLeastRecentlyUsed) {
+  ChainFixture fx;
+  ChainPlanCache cache(2);
+  cache.ChainsBetween(*fx.frag, 0, 1, 64);
+  cache.ChainsBetween(*fx.frag, 1, 2, 64);
+  cache.ChainsBetween(*fx.frag, 0, 2, 64);  // evicts (0, 1)
+  bool was_hit = true;
+  cache.ChainsBetween(*fx.frag, 0, 1, 64, &was_hit);
+  EXPECT_FALSE(was_hit);
+  EXPECT_EQ(cache.Stats().evictions, 2u);
+}
+
+TEST(ChainPlanCache, DsaDatabaseWiresCacheIntoQueries) {
+  ChainFixture fx;
+  DsaDatabase db(fx.frag.get());
+  ASSERT_NE(db.plan_cache(), nullptr);
+  db.ShortestPath(0, 6);
+  const LruCacheStats cold = db.plan_cache()->Stats();
+  EXPECT_GT(cold.misses, 0u);
+  db.ShortestPath(1, 5);  // same fragment pair -> served from cache
+  const LruCacheStats warm = db.plan_cache()->Stats();
+  EXPECT_GT(warm.hits, cold.hits);
+  EXPECT_EQ(warm.misses, cold.misses);
+}
+
+TEST(ChainPlanCache, DisabledByZeroCapacity) {
+  ChainFixture fx;
+  DsaOptions opts;
+  opts.plan_cache_capacity = 0;
+  DsaDatabase db(fx.frag.get(), opts);
+  EXPECT_EQ(db.plan_cache(), nullptr);
+  EXPECT_DOUBLE_EQ(db.ShortestPath(0, 6).cost, 8.0);  // still answers
+}
+
+// ---- Central property: DSA == oracle. Small fast sweep here; the full
+// ---- fragmenter x engine grid on larger graphs is dsa_heavy_test.cc.
+
+struct LiteParam {
   uint64_t seed;
   Fragmenter fragmenter;
   LocalEngine engine;
 };
 
-Fragmentation MakeFragmentation(const Graph& g, Fragmenter which,
-                                uint64_t seed) {
-  switch (which) {
-    case Fragmenter::kCenter: {
-      CenterBasedOptions opts;
-      opts.num_fragments = 4;
-      return CenterBasedFragmentation(g, opts);
-    }
-    case Fragmenter::kCenterDistributed: {
-      CenterBasedOptions opts;
-      opts.num_fragments = 4;
-      opts.distributed_centers = true;
-      return CenterBasedFragmentation(g, opts);
-    }
-    case Fragmenter::kBondEnergy: {
-      BondEnergyOptions opts;
-      opts.num_fragments = 4;
-      return BondEnergyFragmentation(g, opts);
-    }
-    case Fragmenter::kLinear: {
-      LinearOptions opts;
-      opts.num_fragments = 4;
-      return LinearFragmentation(g, opts).fragmentation;
-    }
-    case Fragmenter::kRandom: {
-      Rng rng(seed * 977 + 13);
-      return RandomFragmentation(g, 4, &rng);
-    }
-  }
-  TCF_CHECK(false);
-  CenterBasedOptions opts;
-  return CenterBasedFragmentation(g, opts);
-}
+class DsaOracleSweepLite : public ::testing::TestWithParam<LiteParam> {};
 
-class DsaOracleSweep : public ::testing::TestWithParam<DsaParam> {};
-
-TEST_P(DsaOracleSweep, MatchesDijkstraOracle) {
-  const DsaParam p = GetParam();
-  auto t = MakeTransport(p.seed);
+TEST_P(DsaOracleSweepLite, MatchesDijkstraOracle) {
+  const LiteParam p = GetParam();
+  auto t = MakeTransport(p.seed, /*clusters=*/3, /*nodes=*/8);
   Fragmentation frag = MakeFragmentation(t.graph, p.fragmenter, p.seed);
-  DsaOptions opts;
-  opts.engine = p.engine;
-  DsaDatabase db(&frag, opts);
-
-  // Probe a deterministic set of node pairs including borders.
-  Rng rng(p.seed);
-  std::vector<std::pair<NodeId, NodeId>> pairs;
-  for (int i = 0; i < 12; ++i) {
-    pairs.emplace_back(
-        static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes())),
-        static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes())));
-  }
-  for (NodeId v = 0; v < t.graph.NumNodes(); ++v) {
-    if (frag.IsBorderNode(v)) {
-      pairs.emplace_back(0, v);
-      pairs.emplace_back(v, static_cast<NodeId>(t.graph.NumNodes() - 1));
-    }
-  }
-
-  for (auto [s, u] : pairs) {
-    const Weight expected =
-        s == u ? 0.0 : Dijkstra(t.graph, s).distance[u];
-    const auto answer = db.ShortestPath(s, u);
-    if (expected == kInfinity) {
-      EXPECT_FALSE(answer.connected) << s << "->" << u;
-    } else {
-      ASSERT_TRUE(answer.connected) << s << "->" << u;
-      EXPECT_NEAR(answer.cost, expected, 1e-9) << s << "->" << u;
-    }
-  }
+  ExpectMatchesOracle(t.graph, frag, p.engine, p.seed);
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Sweep, DsaOracleSweep,
+    Sweep, DsaOracleSweepLite,
     ::testing::Values(
-        DsaParam{1, Fragmenter::kCenter, LocalEngine::kDijkstra},
-        DsaParam{2, Fragmenter::kCenter, LocalEngine::kSemiNaive},
-        DsaParam{3, Fragmenter::kCenterDistributed, LocalEngine::kDijkstra},
-        DsaParam{4, Fragmenter::kCenterDistributed, LocalEngine::kSmart},
-        DsaParam{5, Fragmenter::kBondEnergy, LocalEngine::kDijkstra},
-        DsaParam{6, Fragmenter::kBondEnergy, LocalEngine::kSemiNaive},
-        DsaParam{7, Fragmenter::kLinear, LocalEngine::kDijkstra},
-        DsaParam{8, Fragmenter::kLinear, LocalEngine::kSemiNaive},
-        DsaParam{9, Fragmenter::kRandom, LocalEngine::kDijkstra},
-        DsaParam{10, Fragmenter::kRandom, LocalEngine::kSemiNaive},
-        DsaParam{11, Fragmenter::kLinear, LocalEngine::kSmart},
-        DsaParam{12, Fragmenter::kRandom, LocalEngine::kSmart}));
+        LiteParam{1, Fragmenter::kCenter, LocalEngine::kDijkstra},
+        LiteParam{2, Fragmenter::kCenterDistributed, LocalEngine::kSmart},
+        LiteParam{3, Fragmenter::kBondEnergy, LocalEngine::kSemiNaive},
+        LiteParam{4, Fragmenter::kLinear, LocalEngine::kDijkstra},
+        LiteParam{5, Fragmenter::kRandom, LocalEngine::kSemiNaive},
+        LiteParam{6, Fragmenter::kRandom, LocalEngine::kDijkstra}));
 
 }  // namespace
 }  // namespace tcf
