@@ -2,10 +2,18 @@
 // layer): the same workload is answered once as a sequential
 // DsaDatabase::ShortestPath loop and once as a single
 // BatchExecutor::Execute call, for each WorkloadSpec mix. Reports
-// queries/sec for both paths, the batch speed-up, the cross-query subquery
-// deduplication savings, and the chain-plan cache hit rate — the two
-// sharing effects that make batching pay, especially on the hot-pair mix.
+// queries/sec for both paths, the batch speed-up, the planning-phase time,
+// the cross-query subquery deduplication savings, the chain-plan
+// (skeleton) cache hit rate, and the interned-plan skip rate — the sharing
+// effects that make batching pay, especially on the hot-pair mix.
+//
+// A second section sweeps the coordinator thread count on a large uniform
+// batch: planning runs in parallel on the database pool over the sharded
+// SpecTable, so the planning phase should scale with threads (and
+// end-to-end throughput must not regress). `batch_throughput [N]` sets the
+// sweep's batch size (default 10000).
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "dsa/batch.h"
@@ -22,8 +30,8 @@ void RunFamily(const char* family, const Graph& g, Fragmentation frag,
   std::printf(
       "%s: %zu nodes, %zu edges, %zu fragments, %zu queries per mix\n",
       family, g.NumNodes(), g.NumEdges(), frag.NumFragments(), num_queries);
-  TablePrinter table({"Mix", "seq q/s", "batch q/s", "speedup", "dedup",
-                      "plan-cache hits"});
+  TablePrinter table({"Mix", "seq q/s", "batch q/s", "speedup", "plan ms",
+                      "dedup", "skel hits", "plan skips"});
 
   for (WorkloadMix mix :
        {WorkloadMix::kUniform, WorkloadMix::kHotPair,
@@ -55,9 +63,57 @@ void RunFamily(const char* family, const Graph& g, Fragmentation frag,
         {WorkloadMixName(mix), TablePrinter::Fmt(seq_qps, 0),
          TablePrinter::Fmt(result.stats.QueriesPerSecond(), 0),
          TablePrinter::Fmt(speedup, 2) + "x",
+         TablePrinter::Fmt(result.stats.plan_seconds * 1e3, 2),
          TablePrinter::Fmt(100.0 * result.stats.DedupSavings(), 1) + "%",
-         TablePrinter::Fmt(100.0 * result.stats.PlanCacheHitRate(), 1) +
+         TablePrinter::Fmt(100.0 * result.stats.PlanCacheHitRate(), 1) + "%",
+         TablePrinter::Fmt(100.0 * result.stats.PlanMemoHitRate(), 1) +
              "%"});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+/// Coordinator scaling: the same uniform batch planned and executed with
+/// 1, 2, 4, 8 pool threads. Each thread count runs the batch twice and
+/// reports the second (warm skeleton cache) run, so the sweep isolates the
+/// steady-state planning path. `plan speedup` is vs. the 1-thread row —
+/// the acceptance bar for the parallel planner.
+void RunCoordinatorScaling(const Graph& g, Fragmentation frag,
+                           size_t num_queries) {
+  std::printf(
+      "coordinator scaling: uniform mix, %zu queries, %zu nodes, "
+      "%zu fragments (second run per row; warm skeleton cache)\n",
+      num_queries, g.NumNodes(), frag.NumFragments());
+  TablePrinter table({"threads", "plan ms", "plan speedup", "phase1 ms",
+                      "assemble ms", "batch q/s"});
+
+  double base_plan_seconds = 0.0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    DsaOptions opts;
+    opts.num_threads = threads;
+    DsaDatabase db(&frag, opts);
+    BatchExecutor executor(&db);
+
+    WorkloadSpec spec;
+    spec.mix = WorkloadMix::kUniform;
+    spec.num_queries = num_queries;
+    Rng rng(91);
+    const std::vector<Query> queries = GenerateWorkload(frag, spec, &rng);
+
+    executor.Execute(queries);  // cold run warms the skeleton cache
+    const BatchResult result = executor.Execute(queries);
+
+    if (threads == 1) base_plan_seconds = result.stats.plan_seconds;
+    const double plan_speedup =
+        result.stats.plan_seconds == 0.0
+            ? 0.0
+            : base_plan_seconds / result.stats.plan_seconds;
+    table.AddRow({std::to_string(threads),
+                  TablePrinter::Fmt(result.stats.plan_seconds * 1e3, 2),
+                  TablePrinter::Fmt(plan_speedup, 2) + "x",
+                  TablePrinter::Fmt(result.stats.phase1_seconds * 1e3, 2),
+                  TablePrinter::Fmt(result.stats.assemble_seconds * 1e3, 2),
+                  TablePrinter::Fmt(result.stats.QueriesPerSecond(), 0)});
   }
   table.Print();
   std::printf("\n");
@@ -65,8 +121,11 @@ void RunFamily(const char* family, const Graph& g, Fragmentation frag,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr size_t kQueries = 1000;
+  const size_t scaling_queries =
+      argc > 1 ? static_cast<size_t>(std::strtoull(argv[1], nullptr, 10))
+               : 10000;
 
   {
     Rng rng(7);
@@ -86,6 +145,16 @@ int main() {
     copts.distributed_centers = true;
     RunFamily("general graph (Table 3 workload)", g,
               CenterBasedFragmentation(g, copts), kQueries);
+  }
+  {
+    Rng rng(7);
+    TransportationGraphOptions opts = Table1Options();
+    TransportationGraph t = GenerateTransportationGraph(opts, &rng);
+    LinearOptions lopts;
+    lopts.num_fragments = 4;
+    RunCoordinatorScaling(t.graph,
+                          LinearFragmentation(t.graph, lopts).fragmentation,
+                          scaling_queries);
   }
   return 0;
 }

@@ -1,8 +1,29 @@
 #include "dsa/batch.h"
 
+#include <atomic>
+
+#include "relational/relation.h"
+#include "util/sharded_table.h"
 #include "util/timer.h"
 
 namespace tcf {
+
+namespace {
+
+// std::hash<uint64_t> is the identity on the common standard libraries,
+// which would shard the plan memo by `to % num_shards` — a hub-destination
+// batch would then serialize all planning on one shard mutex. Finalize the
+// key with a full-avalanche mix (splitmix64) instead.
+struct PairKeyHash {
+  size_t operator()(uint64_t key) const {
+    key += 0x9e3779b97f4a7c15ull;
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(key ^ (key >> 31));
+  }
+};
+
+}  // namespace
 
 BatchExecutor::BatchExecutor(const DsaDatabase* db) : db_(db) {
   TCF_CHECK(db != nullptr);
@@ -12,38 +33,73 @@ BatchResult BatchExecutor::Execute(const std::vector<Query>& queries) const {
   const Fragmentation& frag = db_->fragmentation();
   const DsaOptions& options = db_->options();
   const size_t num_nodes = frag.graph().NumNodes();
+  ThreadPool* pool = db_->pool();
 
   BatchResult result;
   result.answers.resize(queries.size());
   result.stats.num_queries = queries.size();
   WallTimer batch_timer;
 
-  // Plan every query from the coordinator thread, interning all keyhole
-  // subqueries into one table so identical selections — within a query's
-  // chains or across queries — are computed once. Planning is cheap
-  // relative to phase 1 (chain lookups hit the shared LRU cache), so it is
-  // not worth parallelizing and the SpecTable needs no lock.
+  // Plan in parallel on the shared pool. Two layers of striping keep the
+  // coordinator scalable:
+  //   - the plan memo interns whole plans by (from, to), so each distinct
+  //     pair is planned exactly once and repeats (hot-pair traffic) skip
+  //     chain lookup *and* subquery interning;
+  //   - the sharded spec table interns keyhole subqueries, so identical
+  //     selections — within a query's chains or across queries — are
+  //     computed once, without a global interning lock.
+  // Plan refs stay shard-encoded until the table is sealed below.
   WallTimer plan_timer;
-  SpecTable specs;
-  std::vector<QueryPlan> plans(queries.size());
+  ShardedSpecTable specs;
+  ShardedTable<uint64_t, QueryPlan, PairKeyHash> plan_memo;
+  std::vector<const QueryPlan*> plans(queries.size(), nullptr);
   std::vector<char> trivial(queries.size(), 0);
-  for (size_t i = 0; i < queries.size(); ++i) {
-    const Query& q = queries[i];
-    TCF_CHECK(q.from < num_nodes && q.to < num_nodes);
-    TCF_CHECK_MSG(q.kind != QueryKind::kRoute || options.use_complementary,
-                  "route queries require complementary information");
-    if (q.from == q.to) {
-      trivial[i] = 1;
-      continue;
+  std::atomic<size_t> memo_hits{0};
+  auto plan_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Query& q = queries[i];
+      TCF_CHECK(q.from < num_nodes && q.to < num_nodes);
+      TCF_CHECK_MSG(q.kind != QueryKind::kRoute || options.use_complementary,
+                    "route queries require complementary information");
+      if (q.from == q.to) {
+        trivial[i] = 1;
+        continue;
+      }
+      auto interned = plan_memo.Intern(
+          PairKey(q.from, q.to),
+          [&](const uint64_t&) { return db_->Plan(q.from, q.to, &specs); });
+      plans[i] = interned.value;
+      if (!interned.inserted) {
+        memo_hits.fetch_add(1, std::memory_order_relaxed);
+      }
     }
-    plans[i] = db_->Plan(q.from, q.to, &specs);
-    for (const std::vector<size_t>& hops : plans[i].chain_specs) {
+  };
+  if (pool != nullptr) {
+    pool->ParallelForRanges(queries.size(), plan_range);
+  } else {
+    plan_range(0, queries.size());
+  }
+
+  // Seal the sharded table into the flat spec vector phase 1 consumes, and
+  // rewrite each distinct plan's shard handles to flat indices — once per
+  // plan, not per query.
+  ShardedSpecTable::Flat flat = specs.Flatten();
+  plan_memo.ForEach([&](QueryPlan& plan) {
+    for (std::vector<size_t>& hops : plan.chain_specs) {
+      for (size_t& ref : hops) ref = flat.IndexOf(ref);
+    }
+    result.stats.plan_cache_hits += plan.cache_hits;
+    result.stats.plan_cache_misses += plan.cache_misses;
+  });
+  for (const QueryPlan* plan : plans) {
+    if (plan == nullptr) continue;  // trivial query
+    for (const std::vector<size_t>& hops : plan->chain_specs) {
       result.stats.subqueries_requested += hops.size();
     }
-    result.stats.plan_cache_hits += plans[i].cache_hits;
-    result.stats.plan_cache_misses += plans[i].cache_misses;
   }
-  result.stats.subqueries_executed = specs.size();
+  result.stats.plan_memo_hits = memo_hits.load(std::memory_order_relaxed);
+  result.stats.plan_memo_misses = plan_memo.size();
+  result.stats.subqueries_executed = flat.specs.size();
   result.stats.plan_seconds = plan_timer.ElapsedSeconds();
 
   // Phase 1, once for the whole batch: every deduplicated subquery is one
@@ -52,7 +108,7 @@ BatchResult BatchExecutor::Execute(const std::vector<Query>& queries) const {
   const ComplementaryInfo* comp =
       options.use_complementary ? &db_->complementary() : nullptr;
   std::vector<LocalQueryResult> site_results = RunSites(
-      frag, comp, specs.specs(), options.engine, db_->pool(), &result.report);
+      frag, comp, flat.specs, options.engine, pool, &result.report);
   result.stats.phase1_seconds = phase1_timer.ElapsedSeconds();
 
   // Assemble every query in parallel. Assembly only *reads* the shared
@@ -70,20 +126,22 @@ BatchResult BatchExecutor::Execute(const std::vector<Query>& queries) const {
       if (q.kind == QueryKind::kRoute) out.route = {q.from};
       return;
     }
+    const QueryPlan& plan = *plans[i];
     switch (q.kind) {
       case QueryKind::kCost:
       case QueryKind::kReachability:
-        out.answer = AssembleCostAnswer(frag, plans[i], specs, q.from, q.to,
+        out.answer = AssembleCostAnswer(frag, plan, flat.specs, q.from, q.to,
                                         site_results, &reports[i]);
         break;
       case QueryKind::kRoute:
-        out = AssembleRouteAnswer(frag, db_->complementary(), plans[i], specs,
-                                  q.from, q.to, site_results, &reports[i]);
+        out = AssembleRouteAnswer(frag, db_->complementary(), plan,
+                                  flat.specs, q.from, q.to, site_results,
+                                  &reports[i]);
         break;
     }
   };
-  if (db_->pool() != nullptr) {
-    db_->pool()->ParallelFor(queries.size(), assemble_one);
+  if (pool != nullptr) {
+    pool->ParallelFor(queries.size(), assemble_one);
   } else {
     for (size_t i = 0; i < queries.size(); ++i) assemble_one(i);
   }

@@ -3,16 +3,27 @@
 // as well as across chains, so a batch of queries is executed as one big
 // fan-out:
 //
-//   1. plan every query (chains from the shared plan cache),
-//   2. intern all keyhole subqueries into one SpecTable, so queries that
-//      hit the same (fragment, source-DS, target-DS) triple share a single
-//      site computation — on skewed (hot-pair) workloads this collapses
-//      most of the work,
-//   3. run the deduplicated subqueries on the database's one shared
-//      ThreadPool in a single ParallelFor (no per-query pools, no
-//      per-query barriers),
+//   1. plan every query *in parallel* on the database's shared ThreadPool:
+//      each (from, to) pair is planned exactly once into a per-batch
+//      interned-plan memo (repeats — the whole point of hot-pair traffic —
+//      skip planning outright), each plan stamps its endpoints into the
+//      fragment pair's cached skeleton (no chain enumeration, no
+//      disconnection-set expansion on hot pairs),
+//   2. intern all keyhole subqueries into one mutex-striped
+//      ShardedSpecTable, so queries that hit the same (fragment,
+//      source-DS, target-DS) triple share a single site computation — and
+//      interning itself no longer serializes the coordinator,
+//   3. seal the sharded table into one flat spec vector and run the
+//      deduplicated subqueries on the same pool in a single ParallelFor
+//      (no per-query pools, no per-query barriers),
 //   4. assemble every query's answer in parallel on the same pool (pure
 //      reads of the shared phase-1 results).
+//
+// Parallel planning is answer-preserving: plans, spec contents, dedup
+// counts, and every per-query answer are identical to a sequential
+// planning loop. Only the spec numbering depends on scheduling, which
+// shows solely as the ordering of BatchResult::report.sites (a multiset
+// that is itself scheduling-stable).
 //
 // BatchExecutor is stateless apart from the database reference: Execute()
 // is const, re-entrant, and may run concurrently with other batches and
@@ -46,11 +57,18 @@ struct BatchStats {
   size_t subqueries_requested = 0;
   /// Distinct subqueries actually executed (the SpecTable size).
   size_t subqueries_executed = 0;
-  /// Plan-cache hits/misses for this batch's chain lookups.
+  /// Skeleton-cache (ChainPlanCache) hits/misses for this batch's
+  /// fragment-pair lookups. Each distinct (from, to) pair is planned once,
+  /// so these count per *distinct* pair, not per query.
   size_t plan_cache_hits = 0;
   size_t plan_cache_misses = 0;
+  /// Interned-plan reuse inside this batch: a hit is a query whose
+  /// (from, to) pair was already planned — it skipped chain lookup and
+  /// subquery interning entirely. Misses count the distinct pairs planned.
+  size_t plan_memo_hits = 0;
+  size_t plan_memo_misses = 0;
 
-  double plan_seconds = 0.0;      // planning + interning (coordinator)
+  double plan_seconds = 0.0;      // parallel planning + interning
   double phase1_seconds = 0.0;    // parallel subquery fan-out
   double assemble_seconds = 0.0;  // parallel per-query assembly
   double wall_seconds = 0.0;      // whole Execute() call
@@ -67,6 +85,14 @@ struct BatchStats {
     const size_t lookups = plan_cache_hits + plan_cache_misses;
     return lookups == 0 ? 0.0
                         : static_cast<double>(plan_cache_hits) / lookups;
+  }
+  /// Fraction of non-trivial queries that skipped planning entirely
+  /// because their (from, to) pair was already interned (≈1 on hot-pair
+  /// workloads).
+  double PlanMemoHitRate() const {
+    const size_t lookups = plan_memo_hits + plan_memo_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(plan_memo_hits) / lookups;
   }
   double QueriesPerSecond() const {
     return wall_seconds == 0.0 ? 0.0 : num_queries / wall_seconds;

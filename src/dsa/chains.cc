@@ -44,20 +44,61 @@ std::vector<FragmentChain> FindChains(const Fragmentation& frag,
   return chains;
 }
 
+PlanSkeleton BuildPlanSkeleton(const Fragmentation& frag, FragmentId from,
+                               FragmentId to, size_t max_chains) {
+  PlanSkeleton skeleton;
+  skeleton.chains = FindChains(frag, from, to, max_chains);
+  skeleton.hops.resize(skeleton.chains.size());
+  auto ds_nodes = [&](FragmentId a, FragmentId b) {
+    const DisconnectionSet* ds = frag.FindDisconnectionSet(a, b);
+    TCF_CHECK_MSG(ds != nullptr, "chain hop without disconnection set");
+    return ds->nodes;  // already sorted
+  };
+  for (size_t c = 0; c < skeleton.chains.size(); ++c) {
+    const FragmentChain& chain = skeleton.chains[c];
+    skeleton.hops[c].reserve(chain.size());
+    for (size_t i = 0; i < chain.size(); ++i) {
+      HopTemplate hop;
+      hop.fragment = chain[i];
+      if (i == 0) {
+        hop.source_is_endpoint = true;
+      } else {
+        hop.sources = ds_nodes(chain[i - 1], chain[i]);
+      }
+      if (i + 1 == chain.size()) {
+        hop.target_is_endpoint = true;
+      } else {
+        hop.targets = ds_nodes(chain[i], chain[i + 1]);
+      }
+      skeleton.hops[c].push_back(std::move(hop));
+    }
+  }
+  return skeleton;
+}
+
 ChainPlanCache::ChainPlanCache(size_t capacity) : cache_(capacity) {}
+
+std::shared_ptr<const PlanSkeleton> ChainPlanCache::SkeletonFor(
+    const Fragmentation& frag, FragmentId from, FragmentId to,
+    size_t max_chains, bool* was_hit_out) {
+  const uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
+  return cache_.GetOrCompute(
+      key,
+      [&]() {
+        return std::make_shared<const PlanSkeleton>(
+            BuildPlanSkeleton(frag, from, to, max_chains));
+      },
+      was_hit_out);
+}
 
 std::shared_ptr<const std::vector<FragmentChain>>
 ChainPlanCache::ChainsBetween(const Fragmentation& frag, FragmentId from,
                               FragmentId to, size_t max_chains,
                               bool* was_hit_out) {
-  const uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
-  return cache_.GetOrCompute(
-      key,
-      [&]() {
-        return std::make_shared<const std::vector<FragmentChain>>(
-            FindChains(frag, from, to, max_chains));
-      },
-      was_hit_out);
+  std::shared_ptr<const PlanSkeleton> skeleton =
+      SkeletonFor(frag, from, to, max_chains, was_hit_out);
+  return std::shared_ptr<const std::vector<FragmentChain>>(
+      skeleton, &skeleton->chains);
 }
 
 }  // namespace tcf

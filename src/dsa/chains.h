@@ -3,6 +3,14 @@
 // includes the first node [...]" — when the fragmentation is loosely
 // connected. "If the fragmentation is not loosely connected, it is required
 // to consider all possible chains of fragments independently."
+//
+// On top of raw chain enumeration this header defines the *plan skeleton*:
+// a fragment pair's chains fully expanded into per-hop subquery templates
+// (fragment + keyhole selections, pre-sorted for interning). A skeleton
+// depends only on the fragmentation — not on the query constants — so the
+// ChainPlanCache keeps whole skeletons resident and a query is planned by
+// stamping its two endpoints into a cached skeleton, skipping both chain
+// enumeration and disconnection-set expansion on every hot fragment pair.
 #pragma once
 
 #include <memory>
@@ -23,13 +31,38 @@ std::vector<FragmentChain> FindChains(const Fragmentation& frag,
                                       FragmentId from, FragmentId to,
                                       size_t max_chains = 64);
 
-/// A thread-safe LRU cache of FindChains results keyed by (from, to)
-/// fragment pair. Chain enumeration is pure fragmentation-graph work — it
-/// depends on neither the query constants nor the data — so every query
-/// between the same endpoint fragments reuses one enumeration. With F
-/// fragments there are at most F^2 keys, so a modest capacity usually
-/// caches the whole fragmentation graph; the LRU bound matters for large
-/// F (sharded deployments) and keeps hot pairs resident.
+/// One hop of a plan skeleton: the fragment plus its keyhole selections,
+/// already sorted the way subquery interning wants them. An endpoint hop
+/// (first / last of a chain) has no fixed selection — the planner
+/// substitutes the query constant — so its side is flagged and left empty.
+struct HopTemplate {
+  FragmentId fragment = 0;
+  std::vector<NodeId> sources;  // sorted DS nodes; empty when endpoint
+  std::vector<NodeId> targets;
+  bool source_is_endpoint = false;
+  bool target_is_endpoint = false;
+};
+
+/// A fragment pair's fully expanded plan: every chain with its per-hop
+/// subquery templates. Pure fragmentation metadata — the unit the
+/// interned-plan cache stores.
+struct PlanSkeleton {
+  std::vector<FragmentChain> chains;           // FindChains order
+  std::vector<std::vector<HopTemplate>> hops;  // parallel to chains
+};
+
+/// Expands FindChains(frag, from, to) into a skeleton: each chain hop gets
+/// its disconnection-set selections resolved and sorted once.
+PlanSkeleton BuildPlanSkeleton(const Fragmentation& frag, FragmentId from,
+                               FragmentId to, size_t max_chains);
+
+/// A thread-safe LRU cache of plan skeletons keyed by (from, to) fragment
+/// pair. Skeletons are pure fragmentation-graph work — they depend on
+/// neither the query constants nor the data — so every query between the
+/// same endpoint fragments reuses one expansion. With F fragments there are
+/// at most F^2 keys, so a modest capacity usually caches the whole
+/// fragmentation graph; the LRU bound matters for large F (sharded
+/// deployments) and keeps hot pairs resident.
 ///
 /// One cache serves one (Fragmentation, max_chains) combination: both are
 /// fixed per DsaDatabase, which owns the cache. All methods may be called
@@ -38,9 +71,18 @@ class ChainPlanCache {
  public:
   explicit ChainPlanCache(size_t capacity = 4096);
 
-  /// The chains between `from` and `to`, computed via FindChains on a miss.
-  /// `was_hit_out`, if non-null, reports whether this lookup was a cache
-  /// hit (used for per-batch accounting on top of the cumulative Stats()).
+  /// The plan skeleton for `from` -> `to`, computed via BuildPlanSkeleton
+  /// on a miss. `was_hit_out`, if non-null, reports whether this lookup was
+  /// a cache hit (used for per-batch accounting on top of the cumulative
+  /// Stats()).
+  std::shared_ptr<const PlanSkeleton> SkeletonFor(const Fragmentation& frag,
+                                                  FragmentId from,
+                                                  FragmentId to,
+                                                  size_t max_chains,
+                                                  bool* was_hit_out = nullptr);
+
+  /// The chains between `from` and `to` — a view into the cached skeleton
+  /// (same entry, same stats).
   std::shared_ptr<const std::vector<FragmentChain>> ChainsBetween(
       const Fragmentation& frag, FragmentId from, FragmentId to,
       size_t max_chains, bool* was_hit_out = nullptr);
@@ -51,7 +93,7 @@ class ChainPlanCache {
   void Clear() { cache_.Clear(); }
 
  private:
-  LruCache<uint64_t, std::vector<FragmentChain>> cache_;
+  LruCache<uint64_t, PlanSkeleton> cache_;
 };
 
 }  // namespace tcf

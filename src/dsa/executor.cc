@@ -29,84 +29,129 @@ void ExecutionReport::Merge(const ExecutionReport& other) {
   communication_tuples += other.communication_tuples;
 }
 
-size_t SpecTable::Intern(LocalQuerySpec spec) {
+SpecKey MakeSpecKey(const LocalQuerySpec& spec) {
   auto sorted = [](const NodeSet& s) {
     std::vector<NodeId> v(s.begin(), s.end());
     std::sort(v.begin(), v.end());
     return v;
   };
-  auto key = std::make_tuple(spec.fragment, sorted(spec.sources),
-                             sorted(spec.targets));
+  return std::make_tuple(spec.fragment, sorted(spec.sources),
+                         sorted(spec.targets));
+}
+
+LocalQuerySpec SpecFromKey(const SpecKey& key) {
+  LocalQuerySpec spec;
+  spec.fragment = std::get<0>(key);
+  spec.sources = NodeSet(std::get<1>(key).begin(), std::get<1>(key).end());
+  spec.targets = NodeSet(std::get<2>(key).begin(), std::get<2>(key).end());
+  return spec;
+}
+
+size_t SpecKeyHash::operator()(const SpecKey& key) const {
+  // FNV-ish combine; the node lists are sorted, so equal specs always
+  // produce equal hashes.
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ std::get<0>(key);
+  auto mix = [&h](const std::vector<NodeId>& nodes) {
+    h ^= nodes.size() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    for (NodeId n : nodes) {
+      h ^= n + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+  };
+  mix(std::get<1>(key));
+  mix(std::get<2>(key));
+  return static_cast<size_t>(h);
+}
+
+size_t SpecTable::Intern(SpecKey key) {
   auto it = index_.find(key);
   if (it == index_.end()) {
-    it = index_.emplace(std::move(key), specs_.size()).first;
-    specs_.push_back(std::move(spec));
+    specs_.push_back(SpecFromKey(key));
+    it = index_.emplace(std::move(key), specs_.size() - 1).first;
   }
   return it->second;
 }
 
+ShardedSpecTable::ShardedSpecTable(size_t num_shards) : table_(num_shards) {}
+
+size_t ShardedSpecTable::Intern(SpecKey key) {
+  auto result = table_.Intern(
+      std::move(key), [](const SpecKey& k) { return SpecFromKey(k); });
+  return static_cast<size_t>(result.handle);
+}
+
+size_t ShardedSpecTable::Flat::IndexOf(size_t ref) const {
+  using Table = ShardedTable<SpecKey, LocalQuerySpec, SpecKeyHash>;
+  return offsets[Table::ShardOf(ref)] + Table::SlotOf(ref);
+}
+
+ShardedSpecTable::Flat ShardedSpecTable::Flatten() {
+  auto flattened = table_.Flatten();
+  Flat flat;
+  flat.specs = std::move(flattened.values);
+  flat.offsets = std::move(flattened.offsets);
+  return flat;
+}
+
 QueryPlan BuildQueryPlan(const Fragmentation& frag, NodeId from, NodeId to,
                          size_t max_chains, ChainPlanCache* chain_cache,
-                         SpecTable* specs) {
+                         SpecSink* specs) {
   TCF_CHECK(specs != nullptr);
   TCF_CHECK(from != to);
   QueryPlan plan;
+
+  // Adds one chain of a skeleton: stamp the query constants into the hop
+  // templates and intern one subquery per hop — shared between chains
+  // (and, via a shared sink, between batched queries) when identical, so a
+  // fragment computes each selection once.
+  auto add_chain = [&](const FragmentChain& chain,
+                       const std::vector<HopTemplate>& hops) {
+    if (std::find(plan.chains.begin(), plan.chains.end(), chain) !=
+        plan.chains.end()) {
+      return;
+    }
+    plan.chains.push_back(chain);
+    std::vector<size_t>& refs = plan.chain_specs.emplace_back();
+    refs.reserve(hops.size());
+    for (const HopTemplate& hop : hops) {
+      SpecKey key(hop.fragment,
+                  hop.source_is_endpoint ? std::vector<NodeId>{from}
+                                         : hop.sources,
+                  hop.target_is_endpoint ? std::vector<NodeId>{to}
+                                         : hop.targets);
+      refs.push_back(specs->Intern(std::move(key)));
+    }
+  };
 
   // Locate the query constants; a border node lives in several fragments
   // and every one of them is a valid chain endpoint.
   for (FragmentId fa : frag.FragmentsOfNode(from)) {
     for (FragmentId fb : frag.FragmentsOfNode(to)) {
-      auto add_chain = [&](const FragmentChain& c) {
-        if (std::find(plan.chains.begin(), plan.chains.end(), c) ==
-            plan.chains.end()) {
-          plan.chains.push_back(c);
-        }
-      };
       if (chain_cache != nullptr) {
         bool was_hit = false;
-        auto chains =
-            chain_cache->ChainsBetween(frag, fa, fb, max_chains, &was_hit);
+        auto skeleton =
+            chain_cache->SkeletonFor(frag, fa, fb, max_chains, &was_hit);
         (was_hit ? plan.cache_hits : plan.cache_misses) += 1;
-        for (const FragmentChain& c : *chains) add_chain(c);
+        for (size_t c = 0; c < skeleton->chains.size(); ++c) {
+          add_chain(skeleton->chains[c], skeleton->hops[c]);
+        }
       } else {
-        for (const FragmentChain& c : FindChains(frag, fa, fb, max_chains)) {
-          add_chain(c);
+        const PlanSkeleton skeleton =
+            BuildPlanSkeleton(frag, fa, fb, max_chains);
+        for (size_t c = 0; c < skeleton.chains.size(); ++c) {
+          add_chain(skeleton.chains[c], skeleton.hops[c]);
         }
       }
-    }
-  }
-
-  // One subquery per (fragment, sources, targets) — shared between chains
-  // (and, via a shared SpecTable, between batched queries) when identical,
-  // so a fragment computes each selection once.
-  auto ds_nodes = [&](FragmentId a, FragmentId b) {
-    const DisconnectionSet* ds = frag.FindDisconnectionSet(a, b);
-    TCF_CHECK_MSG(ds != nullptr, "chain hop without disconnection set");
-    return NodeSet(ds->nodes.begin(), ds->nodes.end());
-  };
-  plan.chain_specs.resize(plan.chains.size());
-  for (size_t c = 0; c < plan.chains.size(); ++c) {
-    const FragmentChain& chain = plan.chains[c];
-    for (size_t i = 0; i < chain.size(); ++i) {
-      LocalQuerySpec spec;
-      spec.fragment = chain[i];
-      spec.sources =
-          (i == 0) ? NodeSet{from} : ds_nodes(chain[i - 1], chain[i]);
-      spec.targets = (i + 1 == chain.size())
-                         ? NodeSet{to}
-                         : ds_nodes(chain[i], chain[i + 1]);
-      plan.chain_specs[c].push_back(specs->Intern(std::move(spec)));
     }
   }
   return plan;
 }
 
-std::vector<FragmentId> InvolvedFragments(const Fragmentation& frag,
-                                          const QueryPlan& plan,
-                                          const SpecTable& specs) {
+std::vector<FragmentId> InvolvedFragments(
+    const Fragmentation& frag, const QueryPlan& plan,
+    const std::vector<LocalQuerySpec>& specs) {
   std::vector<char> involved(frag.NumFragments(), 0);
   for (const std::vector<size_t>& hops : plan.chain_specs) {
-    for (size_t idx : hops) involved[specs.specs()[idx].fragment] = 1;
+    for (size_t idx : hops) involved[specs[idx].fragment] = 1;
   }
   std::vector<FragmentId> out;
   for (FragmentId f = 0; f < frag.NumFragments(); ++f) {
@@ -166,7 +211,8 @@ Relation AssembleChain(const std::vector<const Relation*>& chain_results,
 }
 
 QueryAnswer AssembleCostAnswer(const Fragmentation& frag,
-                               const QueryPlan& plan, const SpecTable& specs,
+                               const QueryPlan& plan,
+                               const std::vector<LocalQuerySpec>& specs,
                                NodeId from, NodeId to,
                                const std::vector<LocalQueryResult>& results,
                                ExecutionReport* report) {
@@ -192,7 +238,8 @@ QueryAnswer AssembleCostAnswer(const Fragmentation& frag,
 
 RouteAnswer AssembleRouteAnswer(const Fragmentation& frag,
                                 const ComplementaryInfo& complementary,
-                                const QueryPlan& plan, const SpecTable& specs,
+                                const QueryPlan& plan,
+                                const std::vector<LocalQuerySpec>& specs,
                                 NodeId from, NodeId to,
                                 const std::vector<LocalQueryResult>& results,
                                 ExecutionReport* report) {

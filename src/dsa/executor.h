@@ -13,11 +13,13 @@
 #pragma once
 
 #include <map>
+#include <tuple>
 #include <vector>
 
 #include "dsa/chains.h"
 #include "dsa/complementary.h"
 #include "dsa/local_query.h"
+#include "util/sharded_table.h"
 #include "util/thread_pool.h"
 
 namespace tcf {
@@ -66,25 +68,80 @@ struct RouteAnswer {
   std::vector<NodeId> route;
 };
 
+/// Canonical identity of a keyhole subquery: (fragment, sorted sources,
+/// sorted targets). The key carries everything a LocalQuerySpec holds, so
+/// interning tables materialize the spec from the key on first sight.
+using SpecKey =
+    std::tuple<FragmentId, std::vector<NodeId>, std::vector<NodeId>>;
+
+/// Builds the canonical key of `spec` (sorts its node sets).
+SpecKey MakeSpecKey(const LocalQuerySpec& spec);
+/// Materializes the spec a key denotes.
+LocalQuerySpec SpecFromKey(const SpecKey& key);
+
+struct SpecKeyHash {
+  size_t operator()(const SpecKey& key) const;
+};
+
+/// Where a planner interns its keyhole subqueries. Intern returns an
+/// opaque ref: for SpecTable it is the flat index into specs(); for
+/// ShardedSpecTable it is a shard-encoded handle that Flatten() later maps
+/// to a flat index. Refs from one sink must never be mixed with another's.
+class SpecSink {
+ public:
+  virtual ~SpecSink() = default;
+
+  /// Returns the ref of the subquery `key` denotes, interning it if new.
+  virtual size_t Intern(SpecKey key) = 0;
+};
+
 /// Interning table for keyhole subqueries: one entry per distinct
 /// (fragment, sources, targets) triple, so a fragment computes each
-/// selection once no matter how many chains — or, in a batch, how many
-/// *queries* — need it. Not internally synchronized: each single query
-/// interns into its own table, and the batch executor interns its whole
-/// batch from the coordinator thread before the parallel phase.
-class SpecTable {
+/// selection once no matter how many chains need it. Not internally
+/// synchronized — each single query interns into its own table; batched
+/// queries intern concurrently into a ShardedSpecTable instead.
+class SpecTable : public SpecSink {
  public:
-  /// Returns the index of `spec`, inserting it if new.
-  size_t Intern(LocalQuerySpec spec);
+  /// Returns the index of the spec `key` denotes, inserting it if new.
+  size_t Intern(SpecKey key) override;
 
   const std::vector<LocalQuerySpec>& specs() const { return specs_; }
   size_t size() const { return specs_.size(); }
 
  private:
-  std::map<std::tuple<FragmentId, std::vector<NodeId>, std::vector<NodeId>>,
-           size_t>
-      index_;
+  std::map<SpecKey, size_t> index_;
   std::vector<LocalQuerySpec> specs_;
+};
+
+/// The batch executor's interning table: mutex-striped shards keyed by the
+/// hash of the (fragment, sources, targets) triple, so any number of
+/// coordinator threads intern concurrently and contend only on hash
+/// collisions. Refs are shard-encoded handles; after the parallel planning
+/// phase, Flatten() seals the table into the flat spec vector the phase-1
+/// fan-out consumes and maps every handle to its flat index.
+class ShardedSpecTable : public SpecSink {
+ public:
+  explicit ShardedSpecTable(size_t num_shards = 64);
+
+  /// Thread-safe. Returns a shard-encoded handle, NOT a flat index.
+  size_t Intern(SpecKey key) override;
+
+  size_t size() const { return table_.size(); }
+
+  struct Flat {
+    std::vector<LocalQuerySpec> specs;
+    std::vector<size_t> offsets;
+
+    /// Maps an Intern handle to its index in `specs`.
+    size_t IndexOf(size_t ref) const;
+  };
+
+  /// Moves all specs into one flat vector (shard-major order) and leaves
+  /// the table empty. Callers must be quiescent (no concurrent Intern).
+  Flat Flatten();
+
+ private:
+  ShardedTable<SpecKey, LocalQuerySpec, SpecKeyHash> table_;
 };
 
 /// The shared front half of every query: the chains connecting the two
@@ -99,19 +156,23 @@ struct QueryPlan {
   size_t cache_misses = 0;
 };
 
-/// Builds the plan for a (from, to) query: enumerate the chains between
-/// every endpoint-fragment pair (through `chain_cache` when non-null),
-/// dedupe them, and intern one subquery per chain hop into `specs`.
-/// Requires from != to. Thread-safe for concurrent callers as long as each
-/// passes its own SpecTable.
+/// Builds the plan for a (from, to) query: fetch the plan skeleton of
+/// every endpoint-fragment pair (through `chain_cache` when non-null,
+/// expanded on the spot otherwise), dedupe the chains, and intern one
+/// subquery per chain hop into `specs` by stamping the query constants
+/// into the skeleton's hop templates. Requires from != to. Thread-safe for
+/// concurrent callers sharing one cache, as long as the sink is its own
+/// (SpecTable) or internally synchronized (ShardedSpecTable).
 QueryPlan BuildQueryPlan(const Fragmentation& frag, NodeId from, NodeId to,
                          size_t max_chains, ChainPlanCache* chain_cache,
-                         SpecTable* specs);
+                         SpecSink* specs);
 
-/// The distinct fragments the plan's subqueries touch, ascending.
-std::vector<FragmentId> InvolvedFragments(const Fragmentation& frag,
-                                          const QueryPlan& plan,
-                                          const SpecTable& specs);
+/// The distinct fragments the plan's subqueries touch, ascending. `specs`
+/// is the flat spec vector the plan's refs index (SpecTable::specs(), or a
+/// sealed ShardedSpecTable::Flat::specs).
+std::vector<FragmentId> InvolvedFragments(
+    const Fragmentation& frag, const QueryPlan& plan,
+    const std::vector<LocalQuerySpec>& specs);
 
 /// Runs all `specs` in parallel on `pool` (or sequentially when pool is
 /// null) and appends one SiteReport each. Results are returned in spec
@@ -134,7 +195,8 @@ Relation AssembleChain(const std::vector<const Relation*>& chain_results,
 /// the caller. Only reads shared state, so concurrent assembly of
 /// different queries over one results vector is safe.
 QueryAnswer AssembleCostAnswer(const Fragmentation& frag,
-                               const QueryPlan& plan, const SpecTable& specs,
+                               const QueryPlan& plan,
+                               const std::vector<LocalQuerySpec>& specs,
                                NodeId from, NodeId to,
                                const std::vector<LocalQueryResult>& results,
                                ExecutionReport* report);
@@ -146,7 +208,8 @@ QueryAnswer AssembleCostAnswer(const Fragmentation& frag,
 /// AssembleCostAnswer.
 RouteAnswer AssembleRouteAnswer(const Fragmentation& frag,
                                 const ComplementaryInfo& complementary,
-                                const QueryPlan& plan, const SpecTable& specs,
+                                const QueryPlan& plan,
+                                const std::vector<LocalQuerySpec>& specs,
                                 NodeId from, NodeId to,
                                 const std::vector<LocalQueryResult>& results,
                                 ExecutionReport* report);

@@ -24,7 +24,7 @@ DsaDatabase::DsaDatabase(const Fragmentation* frag, DsaOptions options)
   }
 }
 
-QueryPlan DsaDatabase::Plan(NodeId from, NodeId to, SpecTable* specs) const {
+QueryPlan DsaDatabase::Plan(NodeId from, NodeId to, SpecSink* specs) const {
   return BuildQueryPlan(*frag_, from, to, options_.max_chains,
                         plan_cache_.get(), specs);
 }
@@ -52,7 +52,8 @@ QueryAnswer DsaDatabase::ShortestPath(NodeId from, NodeId to,
 
   std::vector<LocalQueryResult> results = RunSites(
       *frag_, comp, specs.specs(), options_.engine, pool_.get(), report);
-  return AssembleCostAnswer(*frag_, plan, specs, from, to, results, report);
+  return AssembleCostAnswer(*frag_, plan, specs.specs(), from, to, results,
+                            report);
 }
 
 RouteAnswer DsaDatabase::ShortestRoute(NodeId from, NodeId to,
@@ -76,8 +77,8 @@ RouteAnswer DsaDatabase::ShortestRoute(NodeId from, NodeId to,
   std::vector<LocalQueryResult> results =
       RunSites(*frag_, &complementary_, specs.specs(), options_.engine,
                pool_.get(), report);
-  return AssembleRouteAnswer(*frag_, complementary_, plan, specs, from, to,
-                             results, report);
+  return AssembleRouteAnswer(*frag_, complementary_, plan, specs.specs(),
+                             from, to, results, report);
 }
 
 bool DsaDatabase::IsConnected(NodeId from, NodeId to,

@@ -84,8 +84,9 @@ class DsaDatabase {
   friend class BatchExecutor;
 
   /// Plans `from` -> `to` through the plan cache, interning subqueries
-  /// into `specs`.
-  QueryPlan Plan(NodeId from, NodeId to, SpecTable* specs) const;
+  /// into `specs` (a per-query SpecTable, or the batch executor's shared
+  /// ShardedSpecTable).
+  QueryPlan Plan(NodeId from, NodeId to, SpecSink* specs) const;
 
   const Fragmentation* frag_;
   DsaOptions options_;

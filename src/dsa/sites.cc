@@ -52,73 +52,95 @@ void SiteNetwork::SiteLoop(FragmentId fragment) {
 
 Weight SiteNetwork::ShortestPathCost(NodeId from, NodeId to,
                                      SiteTraffic* traffic) {
-  TCF_CHECK(from < frag_->graph().NumNodes());
-  TCF_CHECK(to < frag_->graph().NumNodes());
+  return BatchShortestPathCosts({{from, to}}, traffic).front();
+}
+
+std::vector<Weight> SiteNetwork::BatchShortestPathCosts(
+    const std::vector<std::pair<NodeId, NodeId>>& queries,
+    SiteTraffic* traffic) {
   SiteTraffic local_traffic;
   if (traffic == nullptr) traffic = &local_traffic;
   *traffic = SiteTraffic{};
-  if (from == to) return 0.0;
+  std::vector<Weight> answers(queries.size(), kInfinity);
 
-  // Plan: chains and deduplicated subquery specs (the coordinator knows
-  // the fragmentation graph and the disconnection sets — tiny metadata).
-  const auto& from_frags = frag_->FragmentsOfNode(from);
-  const auto& to_frags = frag_->FragmentsOfNode(to);
-  std::vector<FragmentChain> chains;
-  for (FragmentId fa : from_frags) {
-    for (FragmentId fb : to_frags) {
-      for (FragmentChain& c : FindChains(*frag_, fa, fb, 64)) {
-        if (std::find(chains.begin(), chains.end(), c) == chains.end()) {
-          chains.push_back(std::move(c));
-        }
-      }
+  // Plan every query up front (the coordinator knows the fragmentation
+  // graph and the disconnection sets — tiny metadata), deduplicating
+  // subqueries batch-wide: a (fragment, selection) needed by several
+  // chains or several queries is one message, one site computation.
+  std::map<std::pair<FragmentId, FragmentId>, std::vector<FragmentChain>>
+      chains_memo;
+  auto chains_between = [&](FragmentId fa, FragmentId fb)
+      -> const std::vector<FragmentChain>& {
+    auto it = chains_memo.find({fa, fb});
+    if (it == chains_memo.end()) {
+      it = chains_memo.emplace(std::make_pair(fa, fb),
+                               FindChains(*frag_, fa, fb, 64))
+               .first;
     }
-  }
-  if (chains.empty()) return kInfinity;
-
+    return it->second;
+  };
   auto ds_nodes = [&](FragmentId a, FragmentId b) {
     const DisconnectionSet* ds = frag_->FindDisconnectionSet(a, b);
     TCF_CHECK(ds != nullptr);
     return NodeSet(ds->nodes.begin(), ds->nodes.end());
   };
-  auto sorted = [](const NodeSet& s) {
-    std::vector<NodeId> v(s.begin(), s.end());
-    std::sort(v.begin(), v.end());
-    return v;
-  };
 
-  std::map<std::tuple<FragmentId, std::vector<NodeId>, std::vector<NodeId>>,
-           uint64_t>
-      spec_request;
-  std::vector<std::vector<uint64_t>> chain_requests(chains.size());
+  struct QueryPlanEntry {
+    std::vector<FragmentChain> chains;
+    std::vector<std::vector<uint64_t>> chain_requests;
+  };
+  std::vector<QueryPlanEntry> plans(queries.size());
+  std::map<SpecKey, uint64_t> spec_request;
   size_t outstanding = 0;
-  for (size_t c = 0; c < chains.size(); ++c) {
-    const FragmentChain& chain = chains[c];
-    for (size_t i = 0; i < chain.size(); ++i) {
-      LocalQuerySpec spec;
-      spec.fragment = chain[i];
-      spec.sources =
-          (i == 0) ? NodeSet{from} : ds_nodes(chain[i - 1], chain[i]);
-      spec.targets = (i + 1 == chain.size())
-                         ? NodeSet{to}
-                         : ds_nodes(chain[i], chain[i + 1]);
-      auto key = std::make_tuple(spec.fragment, sorted(spec.sources),
-                                 sorted(spec.targets));
-      auto it = spec_request.find(key);
-      if (it == spec_request.end()) {
-        const uint64_t id = next_request_id_++;
-        it = spec_request.emplace(std::move(key), id).first;
-        Subquery message;
-        message.request_id = id;
-        message.spec = std::move(spec);
-        mailboxes_[chain[i]]->Send(std::move(message));
-        ++traffic->subquery_messages;
-        ++outstanding;
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto [from, to] = queries[qi];
+    TCF_CHECK(from < frag_->graph().NumNodes());
+    TCF_CHECK(to < frag_->graph().NumNodes());
+    if (from == to) {
+      answers[qi] = 0.0;
+      continue;
+    }
+    QueryPlanEntry& plan = plans[qi];
+    for (FragmentId fa : frag_->FragmentsOfNode(from)) {
+      for (FragmentId fb : frag_->FragmentsOfNode(to)) {
+        for (const FragmentChain& c : chains_between(fa, fb)) {
+          if (std::find(plan.chains.begin(), plan.chains.end(), c) ==
+              plan.chains.end()) {
+            plan.chains.push_back(c);
+          }
+        }
       }
-      chain_requests[c].push_back(it->second);
+    }
+    plan.chain_requests.resize(plan.chains.size());
+    for (size_t c = 0; c < plan.chains.size(); ++c) {
+      const FragmentChain& chain = plan.chains[c];
+      for (size_t i = 0; i < chain.size(); ++i) {
+        LocalQuerySpec spec;
+        spec.fragment = chain[i];
+        spec.sources =
+            (i == 0) ? NodeSet{from} : ds_nodes(chain[i - 1], chain[i]);
+        spec.targets = (i + 1 == chain.size())
+                           ? NodeSet{to}
+                           : ds_nodes(chain[i], chain[i + 1]);
+        SpecKey key = MakeSpecKey(spec);
+        auto it = spec_request.find(key);
+        if (it == spec_request.end()) {
+          const uint64_t id = next_request_id_++;
+          it = spec_request.emplace(std::move(key), id).first;
+          Subquery message;
+          message.request_id = id;
+          message.spec = std::move(spec);
+          mailboxes_[chain[i]]->Send(std::move(message));
+          ++traffic->subquery_messages;
+          ++outstanding;
+        }
+        plan.chain_requests[c].push_back(it->second);
+      }
     }
   }
 
-  // Phase 2: collect the (small) result relations.
+  // Phase 2: collect the (small) result relations of the whole batch.
   std::unordered_map<uint64_t, Relation> results;
   while (outstanding > 0) {
     std::optional<SiteResult> result = coordinator_inbox_.Receive();
@@ -129,16 +151,25 @@ Weight SiteNetwork::ShortestPathCost(NodeId from, NodeId to,
     --outstanding;
   }
 
-  // Final joins at the coordinator.
-  Weight best = kInfinity;
-  for (size_t c = 0; c < chains.size(); ++c) {
-    std::vector<const Relation*> hops;
-    hops.reserve(chain_requests[c].size());
-    for (uint64_t id : chain_requests[c]) hops.push_back(&results.at(id));
-    Relation final = AssembleChain(hops, nullptr);
-    best = std::min(best, final.BestCost(from, to));
+  // Final joins at the coordinator, query by query over the shared
+  // results.
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto [from, to] = queries[qi];
+    if (from == to) continue;
+    Weight best = kInfinity;
+    const QueryPlanEntry& plan = plans[qi];
+    for (size_t c = 0; c < plan.chains.size(); ++c) {
+      std::vector<const Relation*> hops;
+      hops.reserve(plan.chain_requests[c].size());
+      for (uint64_t id : plan.chain_requests[c]) {
+        hops.push_back(&results.at(id));
+      }
+      Relation final = AssembleChain(hops, nullptr);
+      best = std::min(best, final.BestCost(from, to));
+    }
+    answers[qi] = best;
   }
-  return best;
+  return answers;
 }
 
 }  // namespace tcf

@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "dsa/local_query.h"
@@ -48,6 +49,17 @@ class SiteNetwork {
   /// messages, assemble locally. Exact (uses complementary information).
   Weight ShortestPathCost(NodeId from, NodeId to,
                           SiteTraffic* traffic = nullptr);
+
+  /// A whole batch through the same protocol as one fan-out: every query
+  /// is planned up front, subqueries are deduplicated *across queries*
+  /// (one message per distinct (fragment, selection) no matter how many
+  /// queries need it), all messages are sent before any result is awaited,
+  /// and every answer is assembled at the coordinator. The phase-1
+  /// property is preserved batch-wide: sites still never talk to each
+  /// other. `traffic`, if non-null, receives the whole batch's counters.
+  std::vector<Weight> BatchShortestPathCosts(
+      const std::vector<std::pair<NodeId, NodeId>>& queries,
+      SiteTraffic* traffic = nullptr);
 
  private:
   struct Subquery {

@@ -1,0 +1,160 @@
+// A thread-safe interning table striped over N mutex-guarded shards, the
+// write-heavy sibling of util/lru_cache.h: where the LRU cache serves
+// read-mostly lookups of pure computations, the sharded table serves
+// concurrent *insert-or-get* traffic — many threads interning keys at once,
+// each key stored exactly once. The shard of a key is fixed by its hash, so
+// two threads contend only when their keys collide on a shard; with the
+// default shard count that makes interning effectively parallel.
+//
+// Unlike LruCache, the value factory runs *under* the shard lock: entries
+// are interned exactly once per key (callers rely on the handle <-> value
+// bijection, e.g. for deterministic batch statistics), and a long-running
+// factory serializes only its own shard. Keep factories cheap or size the
+// shard count to the expected concurrency.
+//
+// Values live in per-shard deques, so Value* stays stable across later
+// insertions. Intern returns an opaque uint64 handle encoding
+// (shard, slot); Flatten() moves everything into one contiguous vector and
+// maps handles to flat indices — the batch executor's pattern: intern in
+// parallel, then seal the table into the vector the fan-out consumes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tcf {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedTable {
+ public:
+  /// Outcome of one Intern call. `value` points into the table and stays
+  /// valid until Flatten() or destruction; `inserted` is true when this
+  /// call created the entry (the factory ran).
+  struct InternResult {
+    uint64_t handle = 0;
+    Value* value = nullptr;
+    bool inserted = false;
+  };
+
+  /// `num_shards` is clamped to [1, 2^16). More shards, less contention.
+  explicit ShardedTable(size_t num_shards = kDefaultShards)
+      : num_shards_(num_shards < 1 ? 1
+                    : num_shards >= (1u << kShardBits) ? (1u << kShardBits) - 1
+                                                       : num_shards),
+        shards_(std::make_unique<Shard[]>(num_shards_)) {}
+
+  ShardedTable(const ShardedTable&) = delete;
+  ShardedTable& operator=(const ShardedTable&) = delete;
+
+  /// Returns the entry for `key`, creating it from `factory(key)` if
+  /// absent. The factory runs under the shard lock, so the value is
+  /// constructed exactly once per key; concurrent callers of the same key
+  /// block until it is ready.
+  template <typename Factory>
+  InternResult Intern(Key key, Factory&& factory) {
+    Shard& shard = shards_[Hash{}(key) % num_shards_];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    InternResult out;
+    out.inserted = it == shard.index.end();
+    if (out.inserted) {
+      const uint64_t slot = shard.values.size();
+      TCF_CHECK(slot < (uint64_t{1} << kSlotBits));
+      shard.values.push_back(factory(static_cast<const Key&>(key)));
+      it = shard.index.emplace(std::move(key), slot).first;
+    }
+    out.handle = (static_cast<uint64_t>(&shard - shards_.get()) << kSlotBits) |
+                 it->second;
+    out.value = &shard.values[it->second];
+    return out;
+  }
+
+  /// Total entries across shards (takes every shard lock).
+  size_t size() const {
+    size_t total = 0;
+    for (size_t s = 0; s < num_shards_; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mutex);
+      total += shards_[s].values.size();
+    }
+    return total;
+  }
+
+  size_t num_shards() const { return num_shards_; }
+
+  static constexpr size_t ShardOf(uint64_t handle) {
+    return static_cast<size_t>(handle >> kSlotBits);
+  }
+  static constexpr size_t SlotOf(uint64_t handle) {
+    return static_cast<size_t>(handle & ((uint64_t{1} << kSlotBits) - 1));
+  }
+
+  /// Runs `fn(Value&)` on every entry, shard by shard under that shard's
+  /// lock. Do not Intern from inside `fn` (self-deadlock).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t s = 0; s < num_shards_; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mutex);
+      for (Value& value : shards_[s].values) fn(value);
+    }
+  }
+
+  /// The sealed form of a table: all values in one contiguous vector, in
+  /// shard-major order, plus the offset table that maps handles to flat
+  /// indices.
+  struct Flattened {
+    std::vector<Value> values;
+    std::vector<size_t> offsets;  // offsets[s] = flat index of shard s slot 0
+
+    size_t IndexOf(uint64_t handle) const {
+      return offsets[ShardOf(handle)] + SlotOf(handle);
+    }
+  };
+
+  /// Moves every value out into a Flattened and leaves the table empty.
+  /// Callers must be quiescent (no concurrent Intern).
+  Flattened Flatten() {
+    Flattened flat;
+    flat.offsets.resize(num_shards_, 0);
+    size_t total = 0;
+    for (size_t s = 0; s < num_shards_; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mutex);
+      flat.offsets[s] = total;
+      total += shards_[s].values.size();
+    }
+    flat.values.reserve(total);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mutex);
+      for (Value& value : shards_[s].values) {
+        flat.values.push_back(std::move(value));
+      }
+      shards_[s].values.clear();
+      shards_[s].index.clear();
+    }
+    return flat;
+  }
+
+  static constexpr size_t kDefaultShards = 64;
+
+ private:
+  static constexpr unsigned kShardBits = 16;
+  static constexpr unsigned kSlotBits = 64 - kShardBits;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, uint64_t, Hash> index;
+    std::deque<Value> values;  // deque: Value* stable across push_back
+  };
+
+  const size_t num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace tcf

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "util/status.h"
@@ -46,6 +47,23 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   futures.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     futures.push_back(Submit([&fn, i]() { fn(i); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+void ThreadPool::ParallelForRanges(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  // ~4 ranges per worker: enough slack to absorb uneven range costs
+  // without reintroducing per-item queue traffic.
+  const size_t max_tasks = workers_.size() * 4;
+  const size_t num_tasks = std::min(n, max_tasks);
+  const size_t chunk = (n + num_tasks - 1) / num_tasks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_tasks);
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    const size_t end = std::min(n, begin + chunk);
+    futures.push_back(Submit([&fn, begin, end]() { fn(begin, end); }));
   }
   for (auto& f : futures) f.get();
 }

@@ -7,6 +7,10 @@
 // (linear) and cyclic (random) fragmentations.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <optional>
+#include <thread>
+
 #include "dsa/batch.h"
 #include "dsa/workload.h"
 #include "fragment/linear.h"
@@ -203,6 +207,135 @@ TEST(BatchExecutor, SelfQueriesAreTrivial) {
   }
   EXPECT_EQ(result.answers[1].route, (std::vector<NodeId>{5}));
   EXPECT_EQ(result.stats.subqueries_executed, 0u);  // nothing to run
+}
+
+// ------------------------------------------------- Plan-cache edge cases
+
+/// Fixture for the plan-cache tests: a 3×10 transportation graph under a
+/// 4-fragment linear fragmentation (several fragment pairs, so a capacity-1
+/// cache is forced to churn) plus a 200-query uniform workload.
+struct PlanCacheFixture {
+  PlanCacheFixture() {
+    Rng rng(77);
+    TransportationGraphOptions gopts;
+    gopts.num_clusters = 3;
+    gopts.nodes_per_cluster = 10;
+    gopts.target_edges_per_cluster = 40;
+    graph = GenerateTransportationGraph(gopts, &rng).graph;
+    LinearOptions lopts;
+    lopts.num_fragments = 4;
+    frag.emplace(LinearFragmentation(graph, lopts).fragmentation);
+  }
+
+  std::vector<Query> MakeQueries(size_t n) const {
+    WorkloadSpec spec;
+    spec.mix = WorkloadMix::kUniform;
+    spec.num_queries = n;
+    Rng rng(78);
+    return GenerateWorkload(*frag, spec, &rng);
+  }
+
+  Graph graph;
+  std::optional<Fragmentation> frag;
+};
+
+void ExpectSameAnswers(const BatchResult& got, const BatchResult& want) {
+  ASSERT_EQ(got.answers.size(), want.answers.size());
+  for (size_t i = 0; i < got.answers.size(); ++i) {
+    EXPECT_EQ(got.answers[i].answer.connected, want.answers[i].answer.connected)
+        << "query " << i;
+    EXPECT_EQ(got.answers[i].answer.cost, want.answers[i].answer.cost)
+        << "query " << i;
+  }
+}
+
+TEST(BatchPlanCache, DisabledCacheStillAnswersCorrectly) {
+  PlanCacheFixture fx;
+  const std::vector<Query> queries = fx.MakeQueries(200);
+
+  DsaDatabase cached_db(&*fx.frag);
+  const BatchResult want = BatchExecutor(&cached_db).Execute(queries);
+
+  DsaOptions opts;
+  opts.plan_cache_capacity = 0;  // disabled: skeletons expanded per plan
+  DsaDatabase db(&*fx.frag, opts);
+  ASSERT_EQ(db.plan_cache(), nullptr);
+  const BatchResult got = BatchExecutor(&db).Execute(queries);
+
+  ExpectSameAnswers(got, want);
+  EXPECT_EQ(got.stats.plan_cache_hits, 0u);
+  EXPECT_EQ(got.stats.plan_cache_misses, 0u);
+  // Sharing is planner-side, not cache-side: dedup must be unaffected.
+  EXPECT_EQ(got.stats.subqueries_executed, want.stats.subqueries_executed);
+  EXPECT_EQ(got.stats.subqueries_requested, want.stats.subqueries_requested);
+}
+
+TEST(BatchPlanCache, CapacityOneChurnsButStaysCorrect) {
+  PlanCacheFixture fx;
+  const std::vector<Query> queries = fx.MakeQueries(200);
+
+  DsaDatabase reference_db(&*fx.frag);
+  const BatchResult want = BatchExecutor(&reference_db).Execute(queries);
+
+  DsaOptions opts;
+  opts.plan_cache_capacity = 1;  // every second fragment pair evicts
+  DsaDatabase db(&*fx.frag, opts);
+  const BatchResult got = BatchExecutor(&db).Execute(queries);
+
+  ExpectSameAnswers(got, want);
+  const LruCacheStats stats = db.plan_cache()->Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.entries, 1u);
+  // Per-batch accounting must agree with the cache's cumulative counters.
+  EXPECT_EQ(got.stats.plan_cache_hits + got.stats.plan_cache_misses,
+            stats.hits + stats.misses);
+}
+
+TEST(BatchPlanCache, ConcurrentBatchesRacingOnTinyCache) {
+  PlanCacheFixture fx;
+  const std::vector<Query> queries = fx.MakeQueries(100);
+
+  DsaDatabase reference_db(&*fx.frag);
+  const BatchResult want = BatchExecutor(&reference_db).Execute(queries);
+
+  DsaOptions opts;
+  opts.plan_cache_capacity = 1;
+  DsaDatabase db(&*fx.frag, opts);
+  BatchExecutor executor(&db);
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kRounds = 6;
+  std::vector<BatchStats> stats(kThreads * kRounds);
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (size_t round = 0; round < kRounds; ++round) {
+        const BatchResult got = executor.Execute(queries);
+        stats[t * kRounds + round] = got.stats;
+        for (size_t i = 0; i < queries.size(); ++i) {
+          if (got.answers[i].answer.cost != want.answers[i].answer.cost) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  // Hit/miss accounting stays consistent under the race: every batch's
+  // counters sum to the cache's cumulative lookup count, dedup counts are
+  // scheduling-independent, and the capacity bound holds.
+  size_t batch_lookups = 0;
+  for (const BatchStats& s : stats) {
+    EXPECT_EQ(s.subqueries_executed, want.stats.subqueries_executed);
+    EXPECT_EQ(s.subqueries_requested, want.stats.subqueries_requested);
+    batch_lookups += s.plan_cache_hits + s.plan_cache_misses;
+  }
+  const LruCacheStats cache_stats = db.plan_cache()->Stats();
+  EXPECT_EQ(cache_stats.hits + cache_stats.misses, batch_lookups);
+  EXPECT_LE(cache_stats.entries, 1u);
 }
 
 TEST(BatchExecutor, DisconnectedPairsStayUnconnected) {

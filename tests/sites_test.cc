@@ -163,6 +163,93 @@ TEST(SiteNetwork, IntraFragmentQueryUsesOneSite) {
   EXPECT_EQ(traffic.subquery_messages, 1u);
 }
 
+TEST(SiteNetwork, BatchedFanOutHasNoInterSiteCommunication) {
+  // The paper's phase-1 property must survive batching: a whole batch is
+  // one fan-out of independent subqueries, and sites still never talk to
+  // each other — only coordinator -> site and site -> coordinator.
+  auto t = MakeTransport(7);
+  BondEnergyOptions bopts;
+  bopts.num_fragments = 4;
+  Fragmentation frag = BondEnergyFragmentation(t.graph, bopts);
+  SiteNetwork net(&frag);
+
+  Rng rng(11);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  for (int i = 0; i < 20; ++i) {
+    queries.emplace_back(
+        static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes())),
+        static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes())));
+  }
+  queries.emplace_back(3, 3);                  // trivial
+  queries.push_back(queries.front());          // exact repeat: pure sharing
+
+  SiteTraffic traffic;
+  const std::vector<Weight> got = net.BatchShortestPathCosts(queries, &traffic);
+  ASSERT_EQ(got.size(), queries.size());
+  EXPECT_EQ(traffic.inter_site_messages, 0u);  // the paper's property
+  EXPECT_GT(traffic.subquery_messages, 0u);
+  EXPECT_EQ(traffic.result_messages, traffic.subquery_messages);
+
+  // Element-wise identical to the single-query protocol, whose fan-outs
+  // must also stay phase-1 silent; batching the queries must cost *fewer*
+  // messages than issuing them one by one (cross-query dedup).
+  size_t single_messages = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SiteTraffic single;
+    const Weight want =
+        net.ShortestPathCost(queries[i].first, queries[i].second, &single);
+    EXPECT_EQ(single.inter_site_messages, 0u) << "query " << i;
+    single_messages += single.subquery_messages;
+    if (want == kInfinity) {
+      EXPECT_EQ(got[i], kInfinity) << "query " << i;
+    } else {
+      EXPECT_NEAR(got[i], want, 1e-9) << "query " << i;
+    }
+  }
+  EXPECT_LT(traffic.subquery_messages, single_messages);
+}
+
+TEST(SiteNetwork, BatchAnswersMatchOracle) {
+  auto t = MakeTransport(8);
+  LinearOptions lopts;
+  lopts.num_fragments = 4;
+  Fragmentation frag = LinearFragmentation(t.graph, lopts).fragmentation;
+  SiteNetwork net(&frag);
+
+  Rng rng(13);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  for (int i = 0; i < 15; ++i) {
+    queries.emplace_back(
+        static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes())),
+        static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes())));
+  }
+  SiteTraffic traffic;
+  const std::vector<Weight> got = net.BatchShortestPathCosts(queries, &traffic);
+  EXPECT_EQ(traffic.inter_site_messages, 0u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto [s, u] = queries[i];
+    const Weight oracle = s == u ? 0.0 : Dijkstra(t.graph, s).distance[u];
+    if (oracle == kInfinity) {
+      EXPECT_EQ(got[i], kInfinity) << s << "->" << u;
+    } else {
+      EXPECT_NEAR(got[i], oracle, 1e-9) << s << "->" << u;
+    }
+  }
+}
+
+TEST(SiteNetwork, EmptyBatchIsANoop) {
+  auto t = MakeTransport(9);
+  LinearOptions lopts;
+  lopts.num_fragments = 2;
+  Fragmentation frag = LinearFragmentation(t.graph, lopts).fragmentation;
+  SiteNetwork net(&frag);
+  SiteTraffic traffic;
+  EXPECT_TRUE(net.BatchShortestPathCosts({}, &traffic).empty());
+  EXPECT_EQ(traffic.subquery_messages, 0u);
+  EXPECT_EQ(traffic.result_messages, 0u);
+  EXPECT_EQ(traffic.inter_site_messages, 0u);
+}
+
 TEST(SiteNetwork, SelfAndDisconnected) {
   GraphBuilder gb(4);
   gb.AddSymmetricEdge(0, 1);

@@ -10,6 +10,7 @@
 #include "util/bit_matrix.h"
 #include "util/lru_cache.h"
 #include "util/rng.h"
+#include "util/sharded_table.h"
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -309,6 +310,30 @@ TEST(ThreadPool, DefaultsToHardwareConcurrency) {
   EXPECT_GE(pool.num_threads(), 1u);
 }
 
+TEST(ThreadPool, ParallelForRangesCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelForRanges(1000, [&](size_t begin, size_t end) {
+    ASSERT_LT(begin, end);
+    for (size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRangesZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelForRanges(0, [](size_t, size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForRangesSmallerThanWorkerCount) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelForRanges(3, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(WallTimer, MeasuresElapsedTime) {
   WallTimer t;
   volatile double sink = 0;
@@ -369,6 +394,29 @@ TEST(LruCache, GetOrComputeRunsFactoryOncePerResidentKey) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(LruCache, CapacityOneConstantEvictionStaysConsistent) {
+  // The degenerate cache: every new key evicts the previous one, yet every
+  // lookup must still return the right value and the counters must add up.
+  LruCache<int, int> cache(1);
+  int factory_calls = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (int key = 0; key < 4; ++key) {
+      auto value = cache.GetOrCompute(key, [&]() {
+        ++factory_calls;
+        return std::make_shared<const int>(key * 10);
+      });
+      EXPECT_EQ(*value, key * 10);
+    }
+  }
+  // Each of the 12 lookups misses (the previous key always evicted it).
+  EXPECT_EQ(factory_calls, 12);
+  const LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 12u);
+  EXPECT_EQ(stats.evictions, 11u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
 TEST(LruCache, ConcurrentGetOrComputeIsConsistent) {
   LruCache<int, int> cache(8);
   ThreadPool pool(4);
@@ -381,6 +429,94 @@ TEST(LruCache, ConcurrentGetOrComputeIsConsistent) {
   });
   EXPECT_EQ(wrong.load(), 0);
   EXPECT_EQ(cache.size(), 8u);
+}
+
+// ----------------------------------------------------------- ShardedTable
+
+TEST(ShardedTable, InternCreatesOnceAndReturnsStableEntry) {
+  ShardedTable<int, std::string> table(4);
+  auto first = table.Intern(7, [](const int& k) {
+    return std::string(static_cast<size_t>(k), 'x');
+  });
+  EXPECT_TRUE(first.inserted);
+  EXPECT_EQ(*first.value, "xxxxxxx");
+
+  auto second = table.Intern(7, [](const int&) -> std::string {
+    ADD_FAILURE() << "factory must not rerun for a resident key";
+    return "";
+  });
+  EXPECT_FALSE(second.inserted);
+  EXPECT_EQ(second.handle, first.handle);
+  EXPECT_EQ(second.value, first.value);  // same stored entry
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ShardedTable, ValuePointersSurviveLaterInserts) {
+  ShardedTable<int, int> table(2);
+  std::vector<int*> pointers;
+  for (int k = 0; k < 100; ++k) {
+    pointers.push_back(table.Intern(k, [](const int& key) {
+      return key * 3;
+    }).value);
+  }
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(*pointers[k], k * 3);
+  EXPECT_EQ(table.size(), 100u);
+}
+
+TEST(ShardedTable, FlattenMapsEveryHandleToItsValue) {
+  ShardedTable<int, int> table(8);
+  std::vector<uint64_t> handles(50);
+  for (int k = 0; k < 50; ++k) {
+    handles[k] = table.Intern(k, [](const int& key) { return key + 1000; })
+                     .handle;
+  }
+  auto flat = table.Flatten();
+  ASSERT_EQ(flat.values.size(), 50u);
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_EQ(flat.values[flat.IndexOf(handles[k])], k + 1000);
+  }
+  EXPECT_EQ(table.size(), 0u);  // flatten leaves the table empty
+}
+
+TEST(ShardedTable, ForEachVisitsEveryEntry) {
+  ShardedTable<int, int> table(4);
+  for (int k = 0; k < 20; ++k) {
+    table.Intern(k, [](const int& key) { return key; });
+  }
+  int sum = 0;
+  table.ForEach([&](int& value) { sum += value; });
+  EXPECT_EQ(sum, 19 * 20 / 2);
+}
+
+TEST(ShardedTable, ConcurrentInternIsConsistent) {
+  ShardedTable<int, int> table(4);
+  ThreadPool pool(4);
+  std::atomic<int> wrong{0};
+  std::atomic<int> insertions{0};
+  pool.ParallelFor(256, [&](size_t i) {
+    const int key = static_cast<int>(i % 16);
+    auto result = table.Intern(key, [](const int& k) { return k * k; });
+    if (*result.value != key * key) ++wrong;
+    if (result.inserted) ++insertions;
+  });
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(insertions.load(), 16);  // exactly once per key
+  EXPECT_EQ(table.size(), 16u);
+
+  auto flat = table.Flatten();
+  std::vector<int> values = flat.values;
+  std::sort(values.begin(), values.end());
+  for (int k = 0; k < 16; ++k) EXPECT_EQ(values[k], k * k);
+}
+
+TEST(ShardedTable, SingleShardDegenerateStillWorks) {
+  ShardedTable<int, int> table(1);
+  auto a = table.Intern(1, [](const int&) { return 10; });
+  auto b = table.Intern(2, [](const int&) { return 20; });
+  EXPECT_NE(a.handle, b.handle);
+  auto flat = table.Flatten();
+  EXPECT_EQ(flat.values[flat.IndexOf(a.handle)], 10);
+  EXPECT_EQ(flat.values[flat.IndexOf(b.handle)], 20);
 }
 
 }  // namespace
