@@ -25,8 +25,8 @@ using namespace tcf::bench;
 
 namespace {
 
-void RunFamily(const char* family, const Graph& g, Fragmentation frag,
-               size_t num_queries) {
+void RunFamily(const char* family, const char* family_key, const Graph& g,
+               Fragmentation frag, size_t num_queries, JsonMetrics* metrics) {
   std::printf(
       "%s: %zu nodes, %zu edges, %zu fragments, %zu queries per mix\n",
       family, g.NumNodes(), g.NumEdges(), frag.NumFragments(), num_queries);
@@ -68,6 +68,13 @@ void RunFamily(const char* family, const Graph& g, Fragmentation frag,
          TablePrinter::Fmt(100.0 * result.stats.PlanCacheHitRate(), 1) + "%",
          TablePrinter::Fmt(100.0 * result.stats.PlanMemoHitRate(), 1) +
              "%"});
+    const std::string prefix =
+        std::string(family_key) + "/" + WorkloadMixName(mix);
+    metrics->Set(prefix + "/batch_qps", result.stats.QueriesPerSecond());
+    metrics->Set(prefix + "/seq_qps", seq_qps);
+    metrics->Set(prefix + "/dedup_savings", result.stats.DedupSavings());
+    metrics->Set(prefix + "/plan_memo_hit_rate",
+                 result.stats.PlanMemoHitRate());
   }
   table.Print();
   std::printf("\n");
@@ -79,7 +86,7 @@ void RunFamily(const char* family, const Graph& g, Fragmentation frag,
 /// steady-state planning path. `plan speedup` is vs. the 1-thread row —
 /// the acceptance bar for the parallel planner.
 void RunCoordinatorScaling(const Graph& g, Fragmentation frag,
-                           size_t num_queries) {
+                           size_t num_queries, JsonMetrics* metrics) {
   std::printf(
       "coordinator scaling: uniform mix, %zu queries, %zu nodes, "
       "%zu fragments (second run per row; warm skeleton cache)\n",
@@ -114,6 +121,10 @@ void RunCoordinatorScaling(const Graph& g, Fragmentation frag,
                   TablePrinter::Fmt(result.stats.phase1_seconds * 1e3, 2),
                   TablePrinter::Fmt(result.stats.assemble_seconds * 1e3, 2),
                   TablePrinter::Fmt(result.stats.QueriesPerSecond(), 0)});
+    const std::string prefix =
+        "scaling/threads_" + std::to_string(threads);
+    metrics->Set(prefix + "/plan_ms", result.stats.plan_seconds * 1e3);
+    metrics->Set(prefix + "/plan_speedup", plan_speedup);
   }
   table.Print();
   std::printf("\n");
@@ -123,9 +134,11 @@ void RunCoordinatorScaling(const Graph& g, Fragmentation frag,
 
 int main(int argc, char** argv) {
   constexpr size_t kQueries = 1000;
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   const size_t scaling_queries =
       argc > 1 ? static_cast<size_t>(std::strtoull(argv[1], nullptr, 10))
                : 10000;
+  JsonMetrics metrics("batch_throughput");
 
   {
     Rng rng(7);
@@ -133,8 +146,9 @@ int main(int argc, char** argv) {
     TransportationGraph t = GenerateTransportationGraph(opts, &rng);
     LinearOptions lopts;
     lopts.num_fragments = 4;
-    RunFamily("transportation graph (Table 1 workload)", t.graph,
-              LinearFragmentation(t.graph, lopts).fragmentation, kQueries);
+    RunFamily("transportation graph (Table 1 workload)", "transportation",
+              t.graph, LinearFragmentation(t.graph, lopts).fragmentation,
+              kQueries, &metrics);
   }
   {
     Rng rng(7);
@@ -143,8 +157,8 @@ int main(int argc, char** argv) {
     CenterBasedOptions copts;
     copts.num_fragments = 4;
     copts.distributed_centers = true;
-    RunFamily("general graph (Table 3 workload)", g,
-              CenterBasedFragmentation(g, copts), kQueries);
+    RunFamily("general graph (Table 3 workload)", "general", g,
+              CenterBasedFragmentation(g, copts), kQueries, &metrics);
   }
   {
     Rng rng(7);
@@ -154,7 +168,8 @@ int main(int argc, char** argv) {
     lopts.num_fragments = 4;
     RunCoordinatorScaling(t.graph,
                           LinearFragmentation(t.graph, lopts).fragmentation,
-                          scaling_queries);
+                          scaling_queries, &metrics);
   }
+  if (!json_path.empty() && !metrics.WriteFile(json_path)) return 1;
   return 0;
 }

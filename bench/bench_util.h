@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fragment/bond_energy.h"
@@ -119,6 +120,60 @@ struct RowStats {
     ++trials;
   }
 };
+
+/// Flat machine-readable metrics for the CI perf-regression gate: the
+/// bench records (key, value) pairs next to its human tables and, when
+/// `--json <path>` was passed, writes them as one JSON object
+/// ({"benchmark": ..., "metrics": {...}}). Keys ending in "_qps" are the
+/// throughput series tools/check_bench_regression.py gates on; everything
+/// else is recorded for trend inspection only.
+class JsonMetrics {
+ public:
+  explicit JsonMetrics(std::string benchmark)
+      : benchmark_(std::move(benchmark)) {}
+
+  void Set(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Writes the JSON file; returns false (with a message) on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"metrics\": {\n",
+                 benchmark_.c_str());
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %.6g%s\n", metrics_[i].first.c_str(),
+                   metrics_[i].second, i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string benchmark_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/// Pulls an optional `--json <path>` flag out of (argc, argv), compacting
+/// the remaining positional arguments in place. Returns the path or "".
+inline std::string ConsumeJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::string(argv[r]) == "--json" && r + 1 < *argc) {
+      path = argv[++r];
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  return path;
+}
 
 /// Prints one characteristics table in the paper's layout, plus the
 /// acyclicity rate and realized fragment counts.

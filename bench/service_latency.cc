@@ -1,0 +1,269 @@
+// Streaming admission latency/throughput (see docs/ARCHITECTURE.md,
+// admission layer). Three sections over the Table 1 transportation
+// workload:
+//
+//   1. streaming vs naive — N client threads stream the uniform workload
+//      through a QueryService (micro-batched via BatchExecutor) vs the
+//      naive one-query-at-a-time dispatch loop over the same database.
+//      The acceptance bar: streaming sustains >= 2x the naive qps at 8
+//      clients, with p99 latency bounded by max_wait plus one batch
+//      execution.
+//   2. latency vs throughput — the admission policy grid (max_wait x
+//      max_batch) under closed-loop load: bigger windows/batches buy
+//      throughput with latency, smaller ones the reverse.
+//   3. open-loop arrivals — uniform vs bursty arrival processes at a fixed
+//      offered rate: burstiness deepens micro-batch fill at the same mean
+//      rate.
+//
+// `service_latency [N [clients]]` sets the workload size (default 10000)
+// and client-thread count (default 8); `--json <path>` additionally writes
+// the machine-readable metrics the CI perf gate compares.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_util.h"
+#include "dsa/service.h"
+#include "dsa/workload.h"
+#include "util/timer.h"
+
+using namespace tcf;
+using namespace tcf::bench;
+
+namespace {
+
+struct LoadResult {
+  double wall_seconds = 0.0;
+  ServiceStats stats;
+};
+
+/// Closed-loop load: each of `clients` threads streams its share of
+/// `queries` through `service` with a bounded pipeline window (submit up
+/// to `window` futures, then drain them) — many concurrent clients with a
+/// few requests in flight each, not one giant pre-formed batch.
+LoadResult DriveClosedLoop(QueryService* service,
+                           const std::vector<Query>& queries, size_t clients,
+                           size_t window) {
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c]() {
+      std::vector<std::future<Weight>> in_flight;
+      in_flight.reserve(window);
+      for (size_t i = c; i < queries.size(); i += clients) {
+        in_flight.push_back(
+            service->SubmitShortestPath(queries[i].from, queries[i].to));
+        if (in_flight.size() == window) {
+          for (auto& f : in_flight) f.get();
+          in_flight.clear();
+        }
+      }
+      for (auto& f : in_flight) f.get();
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadResult out;
+  out.wall_seconds = timer.ElapsedSeconds();
+  out.stats = service->Stats();
+  return out;
+}
+
+/// Open-loop load: one driver submits along the generated arrival
+/// schedule, never waiting for answers (futures are drained afterwards).
+LoadResult DriveOpenLoop(QueryService* service,
+                         const std::vector<Query>& queries,
+                         const std::vector<double>& arrivals) {
+  WallTimer timer;
+  std::vector<std::future<Weight>> futures;
+  futures.reserve(queries.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(arrivals[i])));
+    futures.push_back(
+        service->SubmitShortestPath(queries[i].from, queries[i].to));
+  }
+  for (auto& f : futures) f.get();
+  LoadResult out;
+  out.wall_seconds = timer.ElapsedSeconds();
+  out.stats = service->Stats();
+  return out;
+}
+
+std::vector<Query> UniformWorkload(const Fragmentation& frag, size_t n,
+                                   uint64_t seed) {
+  WorkloadSpec spec;
+  spec.mix = WorkloadMix::kUniform;
+  spec.num_queries = n;
+  Rng rng(seed);
+  return GenerateWorkload(frag, spec, &rng);
+}
+
+void StreamingVsNaive(const Fragmentation& frag, size_t num_queries,
+                      size_t clients, JsonMetrics* metrics) {
+  const std::vector<Query> queries = UniformWorkload(frag, num_queries, 51);
+  std::printf(
+      "streaming vs naive: uniform mix, %zu queries, %zu client threads\n",
+      num_queries, clients);
+
+  // Naive baseline: the same database, one query at a time — what serving
+  // this stream looks like without an admission layer.
+  DsaDatabase naive_db(&frag);
+  WallTimer naive_timer;
+  for (const Query& q : queries) naive_db.ShortestPath(q.from, q.to);
+  const double naive_seconds = naive_timer.ElapsedSeconds();
+  const double naive_qps = static_cast<double>(num_queries) / naive_seconds;
+
+  // Streaming: fresh database so the naive loop cannot warm any cache.
+  // Throughput-leaning policy (the latency/throughput grid below sweeps
+  // the trade-off): deep micro-batches maximize cross-query sharing.
+  DsaDatabase db(&frag);
+  ServiceOptions opts;
+  opts.max_batch = 256;
+  opts.max_wait = std::chrono::milliseconds(2);
+  QueryService service(&db, opts);
+  const LoadResult run =
+      DriveClosedLoop(&service, queries, clients, opts.max_batch);
+  service.Shutdown();
+  const double service_qps =
+      static_cast<double>(num_queries) / run.wall_seconds;
+
+  TablePrinter table({"path", "q/s", "p50 ms", "p95 ms", "p99 ms",
+                      "mean fill", "speedup"});
+  table.AddRow({"naive 1-at-a-time", TablePrinter::Fmt(naive_qps, 0), "-",
+                "-", "-", "1.0", "1.00x"});
+  table.AddRow({"streaming service", TablePrinter::Fmt(service_qps, 0),
+                TablePrinter::Fmt(run.stats.LatencyPercentileMs(50), 2),
+                TablePrinter::Fmt(run.stats.LatencyPercentileMs(95), 2),
+                TablePrinter::Fmt(run.stats.LatencyPercentileMs(99), 2),
+                TablePrinter::Fmt(run.stats.MeanBatchFill(), 1),
+                TablePrinter::Fmt(service_qps / naive_qps, 2) + "x"});
+  table.Print();
+  std::printf("\n");
+
+  metrics->Set("streaming/service_qps", service_qps);
+  metrics->Set("streaming/naive_qps", naive_qps);
+  metrics->Set("streaming/speedup", service_qps / naive_qps);
+  metrics->Set("streaming/p99_ms", run.stats.LatencyPercentileMs(99));
+  metrics->Set("streaming/mean_fill", run.stats.MeanBatchFill());
+}
+
+void LatencyVsThroughput(const Fragmentation& frag, size_t num_queries,
+                         size_t clients, JsonMetrics* metrics) {
+  const std::vector<Query> queries = UniformWorkload(frag, num_queries, 52);
+  std::printf(
+      "latency vs throughput: admission policy grid, %zu queries, "
+      "%zu client threads (closed loop)\n",
+      num_queries, clients);
+  TablePrinter table({"max_batch", "max_wait ms", "q/s", "p50 ms", "p95 ms",
+                      "p99 ms", "mean fill"});
+
+  for (size_t max_batch : {16, 64, 256}) {
+    for (int wait_us : {500, 2000, 8000}) {
+      DsaDatabase db(&frag);
+      ServiceOptions opts;
+      opts.max_batch = max_batch;
+      opts.max_wait = std::chrono::microseconds(wait_us);
+      QueryService service(&db, opts);
+      const LoadResult run =
+          DriveClosedLoop(&service, queries, clients, max_batch);
+      service.Shutdown();
+      const double qps = static_cast<double>(num_queries) / run.wall_seconds;
+      table.AddRow({std::to_string(max_batch),
+                    TablePrinter::Fmt(wait_us / 1e3, 1),
+                    TablePrinter::Fmt(qps, 0),
+                    TablePrinter::Fmt(run.stats.LatencyPercentileMs(50), 2),
+                    TablePrinter::Fmt(run.stats.LatencyPercentileMs(95), 2),
+                    TablePrinter::Fmt(run.stats.LatencyPercentileMs(99), 2),
+                    TablePrinter::Fmt(run.stats.MeanBatchFill(), 1)});
+      metrics->Set("grid/batch_" + std::to_string(max_batch) + "_wait_" +
+                       std::to_string(wait_us) + "us_qps",
+                   qps);
+    }
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void OpenLoopArrivals(const Fragmentation& frag, size_t num_queries,
+                      JsonMetrics* metrics) {
+  // Offered rate low enough that even the naive path could keep up — the
+  // comparison isolates the *shape* of the arrival process.
+  const double offered_qps = 4000.0;
+  const size_t n = std::min<size_t>(num_queries, 4000);
+  std::printf(
+      "open-loop arrivals: uniform mix, %zu queries, offered %.0f q/s\n", n,
+      offered_qps);
+  TablePrinter table({"arrivals", "sustained q/s", "p50 ms", "p95 ms",
+                      "p99 ms", "mean fill", "batches"});
+
+  for (ArrivalProcess process :
+       {ArrivalProcess::kUniform, ArrivalProcess::kBursty}) {
+    WorkloadSpec spec;
+    spec.mix = WorkloadMix::kUniform;
+    spec.num_queries = n;
+    spec.arrivals = process;
+    spec.arrival_rate_qps = offered_qps;
+    Rng qrng(53), arng(54);
+    const std::vector<Query> queries = GenerateWorkload(frag, spec, &qrng);
+    const std::vector<double> arrivals = GenerateArrivalTimes(spec, &arng);
+
+    DsaDatabase db(&frag);
+    ServiceOptions opts;
+    opts.max_batch = 64;
+    opts.max_wait = std::chrono::milliseconds(2);
+    QueryService service(&db, opts);
+    const LoadResult run = DriveOpenLoop(&service, queries, arrivals);
+    service.Shutdown();
+
+    table.AddRow({ArrivalProcessName(process),
+                  TablePrinter::Fmt(run.stats.SustainedQps(), 0),
+                  TablePrinter::Fmt(run.stats.LatencyPercentileMs(50), 2),
+                  TablePrinter::Fmt(run.stats.LatencyPercentileMs(95), 2),
+                  TablePrinter::Fmt(run.stats.LatencyPercentileMs(99), 2),
+                  TablePrinter::Fmt(run.stats.MeanBatchFill(), 1),
+                  std::to_string(run.stats.batches)});
+    metrics->Set(std::string("open_loop/") + ArrivalProcessName(process) +
+                     "/mean_fill",
+                 run.stats.MeanBatchFill());
+    metrics->Set(std::string("open_loop/") + ArrivalProcessName(process) +
+                     "/p99_ms",
+                 run.stats.LatencyPercentileMs(99));
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
+  const size_t num_queries =
+      argc > 1 ? static_cast<size_t>(std::strtoull(argv[1], nullptr, 10))
+               : 10000;
+  const size_t clients =
+      argc > 2 ? static_cast<size_t>(std::strtoull(argv[2], nullptr, 10)) : 8;
+  JsonMetrics metrics("service_latency");
+
+  Rng rng(7);
+  TransportationGraphOptions opts = Table1Options();
+  TransportationGraph t = GenerateTransportationGraph(opts, &rng);
+  LinearOptions lopts;
+  lopts.num_fragments = 4;
+  const Fragmentation frag =
+      LinearFragmentation(t.graph, lopts).fragmentation;
+  std::printf("graph: %zu nodes, %zu edges, %zu fragments\n\n",
+              t.graph.NumNodes(), t.graph.NumEdges(), frag.NumFragments());
+
+  StreamingVsNaive(frag, num_queries, clients, &metrics);
+  LatencyVsThroughput(frag, std::min<size_t>(num_queries, 4000), clients,
+                      &metrics);
+  OpenLoopArrivals(frag, num_queries, &metrics);
+
+  if (!json_path.empty() && !metrics.WriteFile(json_path)) return 1;
+  return 0;
+}

@@ -1,29 +1,10 @@
 #include "dsa/batch.h"
 
-#include <atomic>
+#include <utility>
 
-#include "relational/relation.h"
-#include "util/sharded_table.h"
 #include "util/timer.h"
 
 namespace tcf {
-
-namespace {
-
-// std::hash<uint64_t> is the identity on the common standard libraries,
-// which would shard the plan memo by `to % num_shards` — a hub-destination
-// batch would then serialize all planning on one shard mutex. Finalize the
-// key with a full-avalanche mix (splitmix64) instead.
-struct PairKeyHash {
-  size_t operator()(uint64_t key) const {
-    key += 0x9e3779b97f4a7c15ull;
-    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
-    key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
-    return static_cast<size_t>(key ^ (key >> 31));
-  }
-};
-
-}  // namespace
 
 BatchExecutor::BatchExecutor(const DsaDatabase* db) : db_(db) {
   TCF_CHECK(db != nullptr);
@@ -40,66 +21,33 @@ BatchResult BatchExecutor::Execute(const std::vector<Query>& queries) const {
   result.stats.num_queries = queries.size();
   WallTimer batch_timer;
 
-  // Plan in parallel on the shared pool. Two layers of striping keep the
-  // coordinator scalable:
-  //   - the plan memo interns whole plans by (from, to), so each distinct
-  //     pair is planned exactly once and repeats (hot-pair traffic) skip
-  //     chain lookup *and* subquery interning;
-  //   - the sharded spec table interns keyhole subqueries, so identical
-  //     selections — within a query's chains or across queries — are
-  //     computed once, without a global interning lock.
-  // Plan refs stay shard-encoded until the table is sealed below.
+  // Validate up front (cheap next to planning), then plan the whole batch
+  // through the shared parallel planner — the same sharded plan memo +
+  // spec table path the SiteNetwork coordinator uses.
   WallTimer plan_timer;
-  ShardedSpecTable specs;
-  ShardedTable<uint64_t, QueryPlan, PairKeyHash> plan_memo;
-  std::vector<const QueryPlan*> plans(queries.size(), nullptr);
-  std::vector<char> trivial(queries.size(), 0);
-  std::atomic<size_t> memo_hits{0};
-  auto plan_range = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const Query& q = queries[i];
-      TCF_CHECK(q.from < num_nodes && q.to < num_nodes);
-      TCF_CHECK_MSG(q.kind != QueryKind::kRoute || options.use_complementary,
-                    "route queries require complementary information");
-      if (q.from == q.to) {
-        trivial[i] = 1;
-        continue;
-      }
-      auto interned = plan_memo.Intern(
-          PairKey(q.from, q.to),
-          [&](const uint64_t&) { return db_->Plan(q.from, q.to, &specs); });
-      plans[i] = interned.value;
-      if (!interned.inserted) {
-        memo_hits.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-  };
-  if (pool != nullptr) {
-    pool->ParallelForRanges(queries.size(), plan_range);
-  } else {
-    plan_range(0, queries.size());
+  std::vector<std::pair<NodeId, NodeId>> endpoints;
+  endpoints.reserve(queries.size());
+  for (const Query& q : queries) {
+    TCF_CHECK(q.from < num_nodes && q.to < num_nodes);
+    TCF_CHECK_MSG(q.kind != QueryKind::kRoute || options.use_complementary,
+                  "route queries require complementary information");
+    endpoints.emplace_back(q.from, q.to);
   }
+  ParallelPlanResult planned = PlanBatchInParallel(
+      frag, endpoints, options.max_chains, db_->plan_cache_.get(), pool);
+  const std::vector<LocalQuerySpec>& flat_specs = planned.flat.specs;
 
-  // Seal the sharded table into the flat spec vector phase 1 consumes, and
-  // rewrite each distinct plan's shard handles to flat indices — once per
-  // plan, not per query.
-  ShardedSpecTable::Flat flat = specs.Flatten();
-  plan_memo.ForEach([&](QueryPlan& plan) {
-    for (std::vector<size_t>& hops : plan.chain_specs) {
-      for (size_t& ref : hops) ref = flat.IndexOf(ref);
-    }
-    result.stats.plan_cache_hits += plan.cache_hits;
-    result.stats.plan_cache_misses += plan.cache_misses;
-  });
-  for (const QueryPlan* plan : plans) {
+  result.stats.plan_cache_hits = planned.cache_hits;
+  result.stats.plan_cache_misses = planned.cache_misses;
+  for (const QueryPlan* plan : planned.plans) {
     if (plan == nullptr) continue;  // trivial query
     for (const std::vector<size_t>& hops : plan->chain_specs) {
       result.stats.subqueries_requested += hops.size();
     }
   }
-  result.stats.plan_memo_hits = memo_hits.load(std::memory_order_relaxed);
-  result.stats.plan_memo_misses = plan_memo.size();
-  result.stats.subqueries_executed = flat.specs.size();
+  result.stats.plan_memo_hits = planned.memo_hits;
+  result.stats.plan_memo_misses = planned.distinct_plans();
+  result.stats.subqueries_executed = flat_specs.size();
   result.stats.plan_seconds = plan_timer.ElapsedSeconds();
 
   // Phase 1, once for the whole batch: every deduplicated subquery is one
@@ -108,7 +56,7 @@ BatchResult BatchExecutor::Execute(const std::vector<Query>& queries) const {
   const ComplementaryInfo* comp =
       options.use_complementary ? &db_->complementary() : nullptr;
   std::vector<LocalQueryResult> site_results = RunSites(
-      frag, comp, flat.specs, options.engine, pool, &result.report);
+      frag, comp, flat_specs, options.engine, pool, &result.report);
   result.stats.phase1_seconds = phase1_timer.ElapsedSeconds();
 
   // Assemble every query in parallel. Assembly only *reads* the shared
@@ -120,22 +68,22 @@ BatchResult BatchExecutor::Execute(const std::vector<Query>& queries) const {
   auto assemble_one = [&](size_t i) {
     const Query& q = queries[i];
     RouteAnswer& out = result.answers[i];
-    if (trivial[i]) {
+    if (q.from == q.to) {
       out.answer.connected = true;
       out.answer.cost = 0.0;
       if (q.kind == QueryKind::kRoute) out.route = {q.from};
       return;
     }
-    const QueryPlan& plan = *plans[i];
+    const QueryPlan& plan = *planned.plans[i];
     switch (q.kind) {
       case QueryKind::kCost:
       case QueryKind::kReachability:
-        out.answer = AssembleCostAnswer(frag, plan, flat.specs, q.from, q.to,
+        out.answer = AssembleCostAnswer(frag, plan, flat_specs, q.from, q.to,
                                         site_results, &reports[i]);
         break;
       case QueryKind::kRoute:
         out = AssembleRouteAnswer(frag, db_->complementary(), plan,
-                                  flat.specs, q.from, q.to, site_results,
+                                  flat_specs, q.from, q.to, site_results,
                                   &reports[i]);
         break;
     }

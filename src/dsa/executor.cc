@@ -1,6 +1,7 @@
 #include "dsa/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
 #include "graph/algorithms.h"
@@ -144,6 +145,59 @@ QueryPlan BuildQueryPlan(const Fragmentation& frag, NodeId from, NodeId to,
     }
   }
   return plan;
+}
+
+ParallelPlanResult PlanBatchInParallel(
+    const Fragmentation& frag,
+    const std::vector<std::pair<NodeId, NodeId>>& endpoints,
+    size_t max_chains, ChainPlanCache* chain_cache, ThreadPool* pool) {
+  ParallelPlanResult out;
+  out.plans.assign(endpoints.size(), nullptr);
+  out.memo = std::make_unique<
+      ShardedTable<uint64_t, QueryPlan, PairKeyHash>>();
+  ShardedSpecTable specs;
+  std::atomic<size_t> memo_hits{0};
+
+  // Two layers of striping keep the coordinator scalable: the plan memo
+  // interns whole plans by (from, to) — repeats (hot-pair traffic) skip
+  // chain lookup and subquery interning — and the sharded spec table
+  // interns keyhole subqueries without a global lock, so identical
+  // selections within a query's chains or across queries are computed
+  // once. Plan refs stay shard-encoded until the table is sealed below.
+  auto plan_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const auto [from, to] = endpoints[i];
+      if (from == to) continue;
+      auto interned = out.memo->Intern(
+          PairKey(from, to), [&](const uint64_t&) {
+            return BuildQueryPlan(frag, from, to, max_chains, chain_cache,
+                                  &specs);
+          });
+      out.plans[i] = interned.value;
+      if (!interned.inserted) {
+        memo_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForRanges(endpoints.size(), plan_range);
+  } else {
+    plan_range(0, endpoints.size());
+  }
+
+  // Seal the sharded table into the flat spec vector phase 1 consumes,
+  // and rewrite each distinct plan's shard handles to flat indices —
+  // once per plan, not per endpoint pair.
+  out.flat = specs.Flatten();
+  out.memo->ForEach([&](QueryPlan& plan) {
+    for (std::vector<size_t>& hops : plan.chain_specs) {
+      for (size_t& ref : hops) ref = out.flat.IndexOf(ref);
+    }
+    out.cache_hits += plan.cache_hits;
+    out.cache_misses += plan.cache_misses;
+  });
+  out.memo_hits = memo_hits.load(std::memory_order_relaxed);
+  return out;
 }
 
 std::vector<FragmentId> InvolvedFragments(

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "dsa/chains.h"
@@ -81,6 +83,20 @@ LocalQuerySpec SpecFromKey(const SpecKey& key);
 
 struct SpecKeyHash {
   size_t operator()(const SpecKey& key) const;
+};
+
+/// Hash for PairKey-encoded (from, to) keys in sharded plan memos.
+/// std::hash<uint64_t> is the identity on the common standard libraries,
+/// which would shard a memo by `to % num_shards` — a hub-destination batch
+/// would then serialize all planning on one shard mutex. Finalize with a
+/// full-avalanche mix (splitmix64) instead.
+struct PairKeyHash {
+  size_t operator()(uint64_t key) const {
+    key += 0x9e3779b97f4a7c15ull;
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(key ^ (key >> 31));
+  }
 };
 
 /// Where a planner interns its keyhole subqueries. Intern returns an
@@ -166,6 +182,36 @@ struct QueryPlan {
 QueryPlan BuildQueryPlan(const Fragmentation& frag, NodeId from, NodeId to,
                          size_t max_chains, ChainPlanCache* chain_cache,
                          SpecSink* specs);
+
+/// A whole batch of endpoint pairs planned in parallel: one plan pointer
+/// per pair (nullptr for trivial from == to pairs), the sealed flat spec
+/// vector phase 1 consumes, and the sharing/cache accounting.
+struct ParallelPlanResult {
+  std::vector<const QueryPlan*> plans;
+  ShardedSpecTable::Flat flat;
+  /// Owns the distinct plans `plans` points into.
+  std::unique_ptr<ShardedTable<uint64_t, QueryPlan, PairKeyHash>> memo;
+  /// Pairs whose (from, to) plan was already interned — they skipped
+  /// chain lookup and subquery interning outright.
+  size_t memo_hits = 0;
+  /// Skeleton-cache accounting summed over the distinct plans.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+
+  size_t distinct_plans() const { return memo->size(); }
+};
+
+/// The shared coordinator path of BatchExecutor and SiteNetwork: plans
+/// every endpoint pair in parallel on `pool` (sequentially when null).
+/// Whole plans intern into a sharded memo by (from, to) so repeats skip
+/// planning, keyhole subqueries intern into one ShardedSpecTable
+/// batch-wide, and the table is sealed with every plan's refs rewritten
+/// to flat spec indices. Endpoints must be in range (callers validate);
+/// from == to pairs yield a null plan.
+ParallelPlanResult PlanBatchInParallel(
+    const Fragmentation& frag,
+    const std::vector<std::pair<NodeId, NodeId>>& endpoints,
+    size_t max_chains, ChainPlanCache* chain_cache, ThreadPool* pool);
 
 /// The distinct fragments the plan's subqueries touch, ascending. `specs`
 /// is the flat spec vector the plan's refs index (SpecTable::specs(), or a

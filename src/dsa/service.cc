@@ -1,0 +1,200 @@
+#include "dsa/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "dsa/sites.h"
+
+namespace tcf {
+
+std::vector<Weight> DatabaseBackend::ExecuteBatch(
+    const std::vector<Query>& queries) {
+  BatchResult result = executor_.Execute(queries);
+  cumulative_.num_queries += result.stats.num_queries;
+  cumulative_.subqueries_requested += result.stats.subqueries_requested;
+  cumulative_.subqueries_executed += result.stats.subqueries_executed;
+  cumulative_.plan_cache_hits += result.stats.plan_cache_hits;
+  cumulative_.plan_cache_misses += result.stats.plan_cache_misses;
+  cumulative_.plan_memo_hits += result.stats.plan_memo_hits;
+  cumulative_.plan_memo_misses += result.stats.plan_memo_misses;
+  cumulative_.plan_seconds += result.stats.plan_seconds;
+  cumulative_.phase1_seconds += result.stats.phase1_seconds;
+  cumulative_.assemble_seconds += result.stats.assemble_seconds;
+  cumulative_.wall_seconds += result.stats.wall_seconds;
+
+  std::vector<Weight> costs;
+  costs.reserve(result.answers.size());
+  for (const RouteAnswer& answer : result.answers) {
+    costs.push_back(answer.answer.cost);
+  }
+  return costs;
+}
+
+std::vector<Weight> SiteNetworkBackend::ExecuteBatch(
+    const std::vector<Query>& queries) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(queries.size());
+  for (const Query& q : queries) pairs.emplace_back(q.from, q.to);
+  return net_->BatchShortestPathCosts(pairs);
+}
+
+QueryService::QueryService(const DsaDatabase* db, ServiceOptions options)
+    : options_(options),
+      owned_backend_(std::make_unique<DatabaseBackend>(db)),
+      backend_(owned_backend_.get()),
+      start_time_(std::chrono::steady_clock::now()) {
+  TCF_CHECK(options_.max_batch > 0);
+  TCF_CHECK(options_.queue_capacity > 0);
+  admission_thread_ = std::thread([this]() { AdmissionLoop(); });
+}
+
+QueryService::QueryService(ServiceBackend* backend, ServiceOptions options)
+    : options_(options),
+      backend_(backend),
+      start_time_(std::chrono::steady_clock::now()) {
+  TCF_CHECK(backend != nullptr);
+  TCF_CHECK(options_.max_batch > 0);
+  TCF_CHECK(options_.queue_capacity > 0);
+  admission_thread_ = std::thread([this]() { AdmissionLoop(); });
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+std::future<Weight> QueryService::Enqueue(Query query, bool* accepted_out) {
+  Pending pending;
+  pending.query = query;
+  pending.submit_time = std::chrono::steady_clock::now();
+  std::future<Weight> future = pending.promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_cv_.wait(lock, [this]() {
+    return queue_.size() < options_.queue_capacity || stop_requested_;
+  });
+  if (stop_requested_) {
+    if (accepted_out != nullptr) *accepted_out = false;
+    pending.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("QueryService is shut down")));
+    return future;
+  }
+  queue_.push_back(std::move(pending));
+  ++stats_.submitted;
+  if (accepted_out != nullptr) *accepted_out = true;
+  lock.unlock();
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::future<Weight> QueryService::SubmitShortestPath(NodeId from, NodeId to) {
+  return Enqueue(Query{from, to, QueryKind::kCost}, nullptr);
+}
+
+std::optional<std::future<Weight>> QueryService::TrySubmit(NodeId from,
+                                                           NodeId to) {
+  Pending pending;
+  pending.query = Query{from, to, QueryKind::kCost};
+  pending.submit_time = std::chrono::steady_clock::now();
+  std::future<Weight> future = pending.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_requested_) return std::nullopt;
+    if (queue_.size() >= options_.queue_capacity) {
+      ++stats_.rejected;
+      return std::nullopt;
+    }
+    queue_.push_back(std::move(pending));
+    ++stats_.submitted;
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::vector<std::future<Weight>> QueryService::SubmitBatch(
+    const std::vector<Query>& queries) {
+  std::vector<std::future<Weight>> futures;
+  futures.reserve(queries.size());
+  for (const Query& q : queries) futures.push_back(Enqueue(q, nullptr));
+  return futures;
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  // join() exactly once even when Shutdown races itself (it is documented
+  // thread-safe like every other public method).
+  std::call_once(join_once_, [this]() { admission_thread_.join(); });
+}
+
+ServiceStats QueryService::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats snapshot = stats_;
+  const auto end = stopped_ ? stop_time_ : std::chrono::steady_clock::now();
+  snapshot.elapsed_seconds =
+      std::chrono::duration<double>(end - start_time_).count();
+  return snapshot;
+}
+
+void QueryService::AdmissionLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    queue_cv_.wait(lock,
+                   [this]() { return !queue_.empty() || stop_requested_; });
+    if (queue_.empty()) {
+      // stop_requested_ and nothing left to drain.
+      break;
+    }
+    // Flush on size or on the oldest entry's time window; a shutdown
+    // request drains immediately.
+    const auto deadline = queue_.front().submit_time + options_.max_wait;
+    queue_cv_.wait_until(lock, deadline, [this]() {
+      return queue_.size() >= options_.max_batch || stop_requested_;
+    });
+
+    const size_t fill = std::min(queue_.size(), options_.max_batch);
+    std::vector<Pending> admitted;
+    admitted.reserve(fill);
+    for (size_t i = 0; i < fill; ++i) {
+      admitted.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    space_cv_.notify_all();
+
+    std::vector<Query> batch;
+    batch.reserve(admitted.size());
+    for (const Pending& p : admitted) batch.push_back(p.query);
+    const std::vector<Weight> costs = backend_->ExecuteBatch(batch);
+    TCF_CHECK(costs.size() == admitted.size());
+
+    // Record stats BEFORE fulfilling the promises: a client that wakes
+    // from future.get() and immediately snapshots Stats() must already
+    // see its own query counted.
+    const auto done = std::chrono::steady_clock::now();
+    std::vector<double> latencies;
+    latencies.reserve(admitted.size());
+    for (const Pending& p : admitted) {
+      latencies.push_back(
+          std::chrono::duration<double>(done - p.submit_time).count());
+    }
+    lock.lock();
+    ++stats_.batches;
+    stats_.completed += admitted.size();
+    stats_.batch_fill.Add(static_cast<double>(admitted.size()));
+    stats_.latency_seconds.AddAll(latencies);
+    lock.unlock();
+
+    for (size_t i = 0; i < admitted.size(); ++i) {
+      admitted[i].promise.set_value(costs[i]);
+    }
+    lock.lock();
+  }
+  stopped_ = true;
+  stop_time_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace tcf

@@ -1,0 +1,201 @@
+// Streaming query admission: the layer between "heavy traffic from many
+// clients" and the batch core. The paper's phase-1 independence makes
+// *batches* profitable (dsa/batch.h), but real traffic arrives as a stream
+// of single queries from concurrent clients. A QueryService coalesces those
+// arrivals into micro-batches — flush on size or on a time window — and
+// runs each micro-batch through a pluggable backend, so streaming traffic
+// inherits the cross-query subquery deduplication, the interned-plan memo,
+// and the skeleton cache of the batch executor without any client knowing
+// about batching.
+//
+// Admission policy (ServiceOptions):
+//   - max_batch:      flush as soon as this many queries are pending,
+//   - max_wait:       flush a non-empty queue no later than this after its
+//                     oldest entry arrived — the latency bound: a query's
+//                     p99 latency is bounded by max_wait plus one batch
+//                     execution,
+//   - queue_capacity: bounded admission queue. Submit* blocks when full
+//                     (closed-loop backpressure); TrySubmit rejects and the
+//                     rejection is counted in ServiceStats.
+//
+// Shutdown() drains: every query admitted before the shutdown flag is
+// observed is executed and its future fulfilled; submissions arriving
+// after that get a future carrying std::runtime_error instead of a value.
+//
+// The backend seam (ServiceBackend) is what makes the admission loop
+// deployment-agnostic: DatabaseBackend drives the in-process DsaDatabase
+// via BatchExecutor; SiteNetworkBackend drives a message-passing
+// SiteNetwork coordinator — the protocol seed for the multi-process
+// direction in ROADMAP.md.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "dsa/batch.h"
+#include "util/stats.h"
+
+namespace tcf {
+
+class SiteNetwork;
+
+/// Where admitted micro-batches execute. Called only from the service's
+/// single admission thread, so implementations need not be re-entrant —
+/// but they may be shared with other traffic (BatchExecutor is re-entrant;
+/// SiteNetwork serializes its coordinator internally).
+class ServiceBackend {
+ public:
+  virtual ~ServiceBackend() = default;
+
+  /// Answers `queries` element-wise with shortest-path costs (kInfinity
+  /// when unconnected).
+  virtual std::vector<Weight> ExecuteBatch(
+      const std::vector<Query>& queries) = 0;
+};
+
+/// In-process backend: one BatchExecutor::Execute per micro-batch, sharing
+/// the database's pool, skeleton cache, and cross-query dedup.
+class DatabaseBackend : public ServiceBackend {
+ public:
+  /// `db` must outlive the backend.
+  explicit DatabaseBackend(const DsaDatabase* db) : executor_(db) {}
+
+  std::vector<Weight> ExecuteBatch(const std::vector<Query>& queries) override;
+
+  /// Batch-core accounting summed over all micro-batches this backend ran
+  /// (dedup savings, plan-memo skips, ...).
+  const BatchStats& cumulative_stats() const { return cumulative_; }
+
+ private:
+  BatchExecutor executor_;
+  BatchStats cumulative_;
+};
+
+/// Message-passing backend: micro-batches go through the SiteNetwork
+/// coordinator's batched fan-out protocol. `net` must outlive the backend.
+class SiteNetworkBackend : public ServiceBackend {
+ public:
+  explicit SiteNetworkBackend(SiteNetwork* net) : net_(net) {}
+
+  std::vector<Weight> ExecuteBatch(const std::vector<Query>& queries) override;
+
+ private:
+  SiteNetwork* net_;
+};
+
+/// Micro-batching policy of the admission loop; see the header comment.
+struct ServiceOptions {
+  size_t max_batch = 64;
+  std::chrono::microseconds max_wait{2000};
+  size_t queue_capacity = 4096;
+};
+
+/// Service-level accounting, snapshot via QueryService::Stats().
+struct ServiceStats {
+  size_t submitted = 0;  // admitted into the queue
+  size_t completed = 0;  // futures fulfilled with an answer
+  size_t rejected = 0;   // TrySubmit refusals on a full queue
+  size_t batches = 0;    // micro-batches executed
+
+  /// Per-query admission-to-answer latency, in seconds.
+  Accumulator latency_seconds;
+  /// Queries per executed micro-batch (the fill distribution: ≈max_batch
+  /// under load, ≈1 under trickle traffic).
+  Accumulator batch_fill;
+
+  /// Wall time from service start to this snapshot (frozen at drain end
+  /// once the service is shut down).
+  double elapsed_seconds = 0.0;
+
+  double SustainedQps() const {
+    return elapsed_seconds == 0.0
+               ? 0.0
+               : static_cast<double>(completed) / elapsed_seconds;
+  }
+  /// Latency percentile in milliseconds (0 when nothing completed yet).
+  double LatencyPercentileMs(double p) const {
+    return latency_seconds.empty() ? 0.0
+                                   : latency_seconds.Percentile(p) * 1e3;
+  }
+  double MeanBatchFill() const {
+    return batch_fill.empty() ? 0.0 : batch_fill.Mean();
+  }
+};
+
+/// The admission service: any number of client threads submit single
+/// queries and receive futures; one admission thread coalesces them into
+/// micro-batches and executes them on the backend. All public methods are
+/// thread-safe.
+class QueryService {
+ public:
+  /// Serve `db` through an internally owned DatabaseBackend. `db` must
+  /// outlive the service.
+  explicit QueryService(const DsaDatabase* db, ServiceOptions options = {});
+  /// Serve an external backend (e.g. SiteNetworkBackend). `backend` must
+  /// outlive the service.
+  explicit QueryService(ServiceBackend* backend, ServiceOptions options = {});
+  /// Shuts down (draining) if Shutdown() was not called explicitly.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Submit one shortest-path cost query. Blocks while the queue is full;
+  /// the future carries the cost (kInfinity when unconnected), or
+  /// std::runtime_error if the service was already shut down.
+  std::future<Weight> SubmitShortestPath(NodeId from, NodeId to);
+
+  /// Non-blocking submit: nullopt when the queue is full (counted as a
+  /// rejection) or the service is shut down.
+  std::optional<std::future<Weight>> TrySubmit(NodeId from, NodeId to);
+
+  /// Submit a pre-formed batch, keeping one future per query (in query
+  /// order). Blocks element-wise when the queue fills; the admission loop
+  /// may split or merge the batch with concurrent submissions.
+  std::vector<std::future<Weight>> SubmitBatch(
+      const std::vector<Query>& queries);
+
+  /// Stops admission and drains: blocks until every admitted query's
+  /// future is fulfilled and the admission thread has exited. Idempotent.
+  void Shutdown();
+
+  /// Snapshot of the accounting so far.
+  ServiceStats Stats() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    Query query;
+    std::promise<Weight> promise;
+    std::chrono::steady_clock::time_point submit_time;
+  };
+
+  std::future<Weight> Enqueue(Query query, bool* accepted_out);
+  void AdmissionLoop();
+
+  ServiceOptions options_;
+  std::unique_ptr<DatabaseBackend> owned_backend_;
+  ServiceBackend* backend_;  // owned_backend_.get() or external
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;  // admission thread waits here
+  std::condition_variable space_cv_;  // blocked submitters wait here
+  std::deque<Pending> queue_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;  // admission thread exited; elapsed frozen
+  ServiceStats stats_;
+  std::chrono::steady_clock::time_point start_time_;
+  std::chrono::steady_clock::time_point stop_time_;
+  std::once_flag join_once_;
+  std::thread admission_thread_;
+};
+
+}  // namespace tcf

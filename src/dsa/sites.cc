@@ -1,14 +1,19 @@
 #include "dsa/sites.h"
 
-#include <algorithm>
-#include <map>
-#include <tuple>
-#include <unordered_map>
+#include <utility>
 
-#include "dsa/chains.h"
 #include "dsa/executor.h"
+#include "util/thread_pool.h"
 
 namespace tcf {
+
+namespace {
+
+/// Chain-enumeration cap of the coordinator planner (matches the
+/// DsaOptions::max_chains default).
+constexpr size_t kMaxChains = 64;
+
+}  // namespace
 
 SiteNetwork::SiteNetwork(const Fragmentation* frag, LocalEngine engine)
     : frag_(frag), engine_(engine) {
@@ -22,6 +27,8 @@ SiteNetwork::SiteNetwork(const Fragmentation* frag, LocalEngine engine)
   for (FragmentId f = 0; f < frag_->NumFragments(); ++f) {
     sites_.emplace_back([this, f]() { SiteLoop(f); });
   }
+  planner_pool_ = std::make_unique<ThreadPool>();
+  plan_cache_ = std::make_unique<ChainPlanCache>();
 }
 
 SiteNetwork::~SiteNetwork() {
@@ -58,116 +65,66 @@ Weight SiteNetwork::ShortestPathCost(NodeId from, NodeId to,
 std::vector<Weight> SiteNetwork::BatchShortestPathCosts(
     const std::vector<std::pair<NodeId, NodeId>>& queries,
     SiteTraffic* traffic) {
+  // One protocol round at a time: request ids and the coordinator inbox
+  // are shared, so concurrent callers queue up here.
+  std::lock_guard<std::mutex> coordinator_lock(coordinator_mutex_);
+
   SiteTraffic local_traffic;
   if (traffic == nullptr) traffic = &local_traffic;
   *traffic = SiteTraffic{};
   std::vector<Weight> answers(queries.size(), kInfinity);
+  const size_t num_nodes = frag_->graph().NumNodes();
 
-  // Plan every query up front (the coordinator knows the fragmentation
-  // graph and the disconnection sets — tiny metadata), deduplicating
-  // subqueries batch-wide: a (fragment, selection) needed by several
-  // chains or several queries is one message, one site computation.
-  std::map<std::pair<FragmentId, FragmentId>, std::vector<FragmentChain>>
-      chains_memo;
-  auto chains_between = [&](FragmentId fa, FragmentId fb)
-      -> const std::vector<FragmentChain>& {
-    auto it = chains_memo.find({fa, fb});
-    if (it == chains_memo.end()) {
-      it = chains_memo.emplace(std::make_pair(fa, fb),
-                               FindChains(*frag_, fa, fb, 64))
-               .first;
-    }
-    return it->second;
-  };
-  auto ds_nodes = [&](FragmentId a, FragmentId b) {
-    const DisconnectionSet* ds = frag_->FindDisconnectionSet(a, b);
-    TCF_CHECK(ds != nullptr);
-    return NodeSet(ds->nodes.begin(), ds->nodes.end());
-  };
+  // Plan every query in parallel on the coordinator's planner pool,
+  // through the exact machinery of the in-process batch executor
+  // (PlanBatchInParallel: sharded plan memo + sharded spec table +
+  // skeleton cache) — one message per distinct (fragment, selection) no
+  // matter how many queries or chains need it.
+  for (const auto& [from, to] : queries) {
+    TCF_CHECK(from < num_nodes);
+    TCF_CHECK(to < num_nodes);
+  }
+  ParallelPlanResult planned = PlanBatchInParallel(
+      *frag_, queries, kMaxChains, plan_cache_.get(), planner_pool_.get());
+  const std::vector<LocalQuerySpec>& flat_specs = planned.flat.specs;
 
-  struct QueryPlanEntry {
-    std::vector<FragmentChain> chains;
-    std::vector<std::vector<uint64_t>> chain_requests;
-  };
-  std::vector<QueryPlanEntry> plans(queries.size());
-  std::map<SpecKey, uint64_t> spec_request;
-  size_t outstanding = 0;
-
-  for (size_t qi = 0; qi < queries.size(); ++qi) {
-    const auto [from, to] = queries[qi];
-    TCF_CHECK(from < frag_->graph().NumNodes());
-    TCF_CHECK(to < frag_->graph().NumNodes());
-    if (from == to) {
-      answers[qi] = 0.0;
-      continue;
-    }
-    QueryPlanEntry& plan = plans[qi];
-    for (FragmentId fa : frag_->FragmentsOfNode(from)) {
-      for (FragmentId fb : frag_->FragmentsOfNode(to)) {
-        for (const FragmentChain& c : chains_between(fa, fb)) {
-          if (std::find(plan.chains.begin(), plan.chains.end(), c) ==
-              plan.chains.end()) {
-            plan.chains.push_back(c);
-          }
-        }
-      }
-    }
-    plan.chain_requests.resize(plan.chains.size());
-    for (size_t c = 0; c < plan.chains.size(); ++c) {
-      const FragmentChain& chain = plan.chains[c];
-      for (size_t i = 0; i < chain.size(); ++i) {
-        LocalQuerySpec spec;
-        spec.fragment = chain[i];
-        spec.sources =
-            (i == 0) ? NodeSet{from} : ds_nodes(chain[i - 1], chain[i]);
-        spec.targets = (i + 1 == chain.size())
-                           ? NodeSet{to}
-                           : ds_nodes(chain[i], chain[i + 1]);
-        SpecKey key = MakeSpecKey(spec);
-        auto it = spec_request.find(key);
-        if (it == spec_request.end()) {
-          const uint64_t id = next_request_id_++;
-          it = spec_request.emplace(std::move(key), id).first;
-          Subquery message;
-          message.request_id = id;
-          message.spec = std::move(spec);
-          mailboxes_[chain[i]]->Send(std::move(message));
-          ++traffic->subquery_messages;
-          ++outstanding;
-        }
-        plan.chain_requests[c].push_back(it->second);
-      }
-    }
+  // Phase 0: all subquery messages are sent before any result is awaited;
+  // request ids are spec indices offset by this round's base.
+  const uint64_t base_request_id = next_request_id_;
+  next_request_id_ += flat_specs.size();
+  for (size_t s = 0; s < flat_specs.size(); ++s) {
+    Subquery message;
+    message.request_id = base_request_id + s;
+    message.spec = flat_specs[s];
+    mailboxes_[flat_specs[s].fragment]->Send(std::move(message));
+    ++traffic->subquery_messages;
   }
 
-  // Phase 2: collect the (small) result relations of the whole batch.
-  std::unordered_map<uint64_t, Relation> results;
+  // Phase 2: collect the (small) result relations of the whole batch,
+  // back into spec order.
+  std::vector<LocalQueryResult> results(flat_specs.size());
+  size_t outstanding = flat_specs.size();
   while (outstanding > 0) {
     std::optional<SiteResult> result = coordinator_inbox_.Receive();
     TCF_CHECK(result.has_value());
     ++traffic->result_messages;
     traffic->result_tuples += result->paths.size();
-    results.emplace(result->request_id, std::move(result->paths));
+    results[result->request_id - base_request_id].paths =
+        std::move(result->paths);
     --outstanding;
   }
 
   // Final joins at the coordinator, query by query over the shared
-  // results.
+  // results — the same assembly as the in-process executor.
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const auto [from, to] = queries[qi];
-    if (from == to) continue;
-    Weight best = kInfinity;
-    const QueryPlanEntry& plan = plans[qi];
-    for (size_t c = 0; c < plan.chains.size(); ++c) {
-      std::vector<const Relation*> hops;
-      hops.reserve(plan.chain_requests[c].size());
-      for (uint64_t id : plan.chain_requests[c]) {
-        hops.push_back(&results.at(id));
-      }
-      Relation final = AssembleChain(hops, nullptr);
-      best = std::min(best, final.BestCost(from, to));
+    if (from == to) {
+      answers[qi] = 0.0;
+      continue;
     }
-    answers[qi] = best;
+    answers[qi] = AssembleCostAnswer(*frag_, *planned.plans[qi], flat_specs,
+                                     from, to, results, nullptr)
+                      .cost;
   }
   return answers;
 }

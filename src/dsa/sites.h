@@ -11,14 +11,18 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "dsa/chains.h"
 #include "dsa/local_query.h"
 #include "util/channel.h"
 
 namespace tcf {
+
+class ThreadPool;
 
 /// Communication accounting for one query, by protocol phase.
 struct SiteTraffic {
@@ -29,7 +33,13 @@ struct SiteTraffic {
 };
 
 /// A network of per-fragment site threads plus a coordinator-side API.
-/// Queries may be issued from one thread at a time.
+/// Queries may be issued from any number of threads: the coordinator side
+/// is serialized internally by a mutex (one query or batch protocol round
+/// in flight at a time — the single coordinator of the paper's deployment).
+/// Coordinator-side *planning* runs in parallel on an internal planner
+/// pool through the same sharded machinery as the in-process batch
+/// executor (sharded plan memo + sharded spec table + skeleton cache), so
+/// large batches do not serialize on plan construction.
 class SiteNetwork {
  public:
   /// Spawns one thread per fragment. `frag` must outlive the network; the
@@ -81,6 +91,13 @@ class SiteNetwork {
   std::vector<std::unique_ptr<Channel<Subquery>>> mailboxes_;
   Channel<SiteResult> coordinator_inbox_;
   std::vector<std::thread> sites_;
+
+  /// Serializes the coordinator protocol (mailbox fan-out + inbox drain):
+  /// request ids and the shared inbox admit one protocol round at a time.
+  std::mutex coordinator_mutex_;
+  /// Parallel planning on the coordinator (guarded by coordinator_mutex_).
+  std::unique_ptr<ThreadPool> planner_pool_;
+  std::unique_ptr<ChainPlanCache> plan_cache_;
   uint64_t next_request_id_ = 1;
 };
 

@@ -14,6 +14,14 @@ const char* WorkloadMixName(WorkloadMix mix) {
   return "?";
 }
 
+const char* ArrivalProcessName(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kUniform: return "uniform";
+    case ArrivalProcess::kBursty: return "bursty";
+  }
+  return "?";
+}
+
 namespace {
 
 NodeId UniformNode(const Graph& g, Rng* rng) {
@@ -135,6 +143,50 @@ std::vector<Query> GenerateWorkload(const Fragmentation& frag,
     }
   }
   return queries;
+}
+
+std::vector<double> GenerateArrivalTimes(const WorkloadSpec& spec, Rng* rng) {
+  TCF_CHECK(rng != nullptr);
+  TCF_CHECK(spec.arrival_rate_qps > 0.0);
+  const double mean_gap = 1.0 / spec.arrival_rate_qps;
+  std::vector<double> arrivals;
+  arrivals.reserve(spec.num_queries);
+
+  switch (spec.arrivals) {
+    case ArrivalProcess::kUniform: {
+      // Evenly spaced with ±50% jitter: gaps average mean_gap, never
+      // negative, so the offered rate is the mean rate throughout.
+      double t = 0.0;
+      for (size_t i = 0; i < spec.num_queries; ++i) {
+        arrivals.push_back(t);
+        t += mean_gap * (0.5 + rng->NextDouble());
+      }
+      break;
+    }
+
+    case ArrivalProcess::kBursty: {
+      // On/off: a burst of L back-to-back queries at burst_speedup times
+      // the mean rate, then an idle gap sized so the burst's span totals
+      // L * mean_gap — the mean rate is preserved per burst.
+      TCF_CHECK(spec.burst_speedup >= 1.0);
+      const size_t mean_burst = std::max<size_t>(1, spec.burst_size);
+      const double intra_gap = mean_gap / spec.burst_speedup;
+      double t = 0.0;
+      while (arrivals.size() < spec.num_queries) {
+        // Burst length in [mean/2, 3*mean/2], clipped to what remains.
+        const size_t len = std::min(
+            spec.num_queries - arrivals.size(),
+            mean_burst / 2 + 1 + rng->NextBounded(mean_burst));
+        for (size_t i = 0; i < len; ++i) {
+          arrivals.push_back(t);
+          t += intra_gap;
+        }
+        t += static_cast<double>(len) * (mean_gap - intra_gap);
+      }
+      break;
+    }
+  }
+  return arrivals;
 }
 
 }  // namespace tcf

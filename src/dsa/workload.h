@@ -27,6 +27,19 @@ enum class WorkloadMix { kUniform, kHotPair, kWithinFragment, kCrossChain };
 
 const char* WorkloadMixName(WorkloadMix mix);
 
+/// How a streaming workload's queries arrive in time (the admission
+/// layer's load shape, see dsa/service.h):
+///
+///   kUniform — a steady trickle: arrivals evenly spaced at the mean rate
+///              with bounded jitter. Micro-batches fill by rate alone.
+///   kBursty  — on/off traffic: bursts of back-to-back arrivals much
+///              faster than the mean rate, separated by idle gaps that
+///              restore the mean. The stress case for flush-on-size vs
+///              flush-on-time and for queue backpressure.
+enum class ArrivalProcess { kUniform, kBursty };
+
+const char* ArrivalProcessName(ArrivalProcess process);
+
 struct WorkloadSpec {
   WorkloadMix mix = WorkloadMix::kUniform;
   size_t num_queries = 1000;
@@ -35,6 +48,16 @@ struct WorkloadSpec {
   /// kHotPair: fraction of queries drawn from the hot set and its size.
   double hot_fraction = 0.9;
   size_t num_hot_pairs = 8;
+
+  /// Streaming arrivals (GenerateArrivalTimes): process shape and mean
+  /// offered rate.
+  ArrivalProcess arrivals = ArrivalProcess::kUniform;
+  double arrival_rate_qps = 50000.0;
+  /// kBursty: bursts hold about this many back-to-back queries...
+  size_t burst_size = 32;
+  /// ...arriving this many times faster than the mean rate (the idle gap
+  /// after each burst restores the mean).
+  double burst_speedup = 10.0;
 };
 
 /// Generates `spec.num_queries` queries over `frag`'s graph, deterministic
@@ -43,5 +66,11 @@ struct WorkloadSpec {
 /// nearest simpler mix rather than failing.
 std::vector<Query> GenerateWorkload(const Fragmentation& frag,
                                     const WorkloadSpec& spec, Rng* rng);
+
+/// Arrival offsets in seconds for `spec.num_queries` queries —
+/// nondecreasing, starting at 0, deterministic in `rng`'s state, with mean
+/// rate `spec.arrival_rate_qps`. An open-loop load driver sleeps until
+/// each offset before submitting the matching query of GenerateWorkload.
+std::vector<double> GenerateArrivalTimes(const WorkloadSpec& spec, Rng* rng);
 
 }  // namespace tcf

@@ -50,6 +50,17 @@ double Accumulator::Max() const {
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
+double Accumulator::Percentile(double p) const {
+  TCF_CHECK(!samples_.empty());
+  TCF_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p == 0.0) return sorted.front();
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank - 1];
+}
+
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 

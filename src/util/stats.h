@@ -28,6 +28,10 @@ class Accumulator {
   double StdDev() const;
   double Min() const;
   double Max() const;
+  /// Nearest-rank percentile over the stored samples, p in [0, 100].
+  /// Percentile(50) is the median, Percentile(99) the p99 latency the
+  /// service layer reports. Sorts a copy — fine at experiment scales.
+  double Percentile(double p) const;
 
   const std::vector<double>& samples() const { return samples_; }
 

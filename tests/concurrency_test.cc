@@ -13,9 +13,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "dsa/batch.h"
+#include "dsa/service.h"
 #include "dsa/workload.h"
 #include "fragment/center_based.h"
 #include "fragment/linear.h"
@@ -181,6 +183,102 @@ TEST(Concurrency, MixedSinglesBatchesAndRoutes) {
   }
   for (std::thread& th : threads) th.join();
   EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(Concurrency, ServiceHammerManyProducers) {
+  // N producer threads stream single queries through one QueryService —
+  // admission loop, bounded queue, and micro-batched execution all under
+  // contention — and every future must carry the sequentially precomputed
+  // answer. Producers mix blocking Submit with TrySubmit (retrying
+  // rejections), so queue-full paths are exercised too.
+  Fixture fx(105, /*cyclic=*/true);
+  const Expected expected = Precompute(*fx.db, 120, 12);
+
+  ServiceOptions opts;
+  opts.max_batch = 16;
+  opts.max_wait = std::chrono::microseconds(200);
+  opts.queue_capacity = 64;  // small: backpressure is part of the hammer
+  QueryService service(fx.db.get(), opts);
+
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> retried{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (size_t i = 0; i < expected.queries.size(); ++i) {
+        const size_t j = (i + t * 13) % expected.queries.size();
+        const Query& q = expected.queries[j];
+        std::future<Weight> future;
+        if (t % 2 == 0) {
+          future = service.SubmitShortestPath(q.from, q.to);
+        } else {
+          // Non-blocking path: spin on rejection.
+          for (;;) {
+            auto maybe = service.TrySubmit(q.from, q.to);
+            if (maybe.has_value()) {
+              future = std::move(*maybe);
+              break;
+            }
+            retried.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::yield();
+          }
+        }
+        if (future.get() != expected.costs[j]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  service.Shutdown();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, kThreads * expected.queries.size());
+  EXPECT_EQ(stats.submitted, stats.completed);
+  EXPECT_EQ(stats.rejected, retried.load());
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_LE(stats.batch_fill.Max(), static_cast<double>(opts.max_batch));
+}
+
+TEST(Concurrency, ServiceShutdownRacesSubmitters) {
+  // Shutdown while producers are still submitting: every future must
+  // either carry the correct answer (admitted before the stop flag) or
+  // throw the shutdown error — never hang, never a wrong answer.
+  Fixture fx(106);
+  const Expected expected = Precompute(*fx.db, 60, 13);
+
+  ServiceOptions opts;
+  opts.max_batch = 8;
+  opts.max_wait = std::chrono::microseconds(100);
+  QueryService service(fx.db.get(), opts);
+
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> rejected_after_stop{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (size_t round = 0; round < 4; ++round) {
+        for (size_t i = 0; i < expected.queries.size(); ++i) {
+          const size_t j = (i + t * 7) % expected.queries.size();
+          const Query& q = expected.queries[j];
+          std::future<Weight> future =
+              service.SubmitShortestPath(q.from, q.to);
+          try {
+            if (future.get() != expected.costs[j]) ++mismatches;
+          } catch (const std::runtime_error&) {
+            ++rejected_after_stop;
+          }
+        }
+      }
+    });
+  }
+  // Let some traffic through, then pull the plug mid-stream.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  service.Shutdown();
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, stats.submitted);  // drained, nothing dropped
 }
 
 TEST(Concurrency, PlanCacheUnderContention) {

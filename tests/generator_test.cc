@@ -6,8 +6,10 @@
 #include <cmath>
 #include <set>
 
+#include "dsa/workload.h"
 #include "graph/algorithms.h"
 #include "graph/generator.h"
+#include "util/stats.h"
 
 namespace tcf {
 namespace {
@@ -293,6 +295,64 @@ INSTANTIATE_TEST_SUITE_P(
                       GenParam{4, 25, 5}, GenParam{5, 12, 6},
                       GenParam{6, 20, 7}, GenParam{8, 10, 8},
                       GenParam{4, 40, 9}, GenParam{2, 50, 10}));
+
+// -------------------------------------------------- Workload arrival times
+
+WorkloadSpec ArrivalSpec(ArrivalProcess process, size_t n) {
+  WorkloadSpec spec;
+  spec.num_queries = n;
+  spec.arrivals = process;
+  spec.arrival_rate_qps = 10000.0;
+  return spec;
+}
+
+TEST(ArrivalTimes, DeterministicForSeed) {
+  for (ArrivalProcess process :
+       {ArrivalProcess::kUniform, ArrivalProcess::kBursty}) {
+    const WorkloadSpec spec = ArrivalSpec(process, 500);
+    Rng r1(21), r2(21);
+    const std::vector<double> a = GenerateArrivalTimes(spec, &r1);
+    const std::vector<double> b = GenerateArrivalTimes(spec, &r2);
+    ASSERT_EQ(a.size(), 500u) << ArrivalProcessName(process);
+    EXPECT_EQ(a, b) << ArrivalProcessName(process);  // bit-exact
+  }
+}
+
+TEST(ArrivalTimes, NondecreasingFromZeroAtMeanRate) {
+  for (ArrivalProcess process :
+       {ArrivalProcess::kUniform, ArrivalProcess::kBursty}) {
+    const WorkloadSpec spec = ArrivalSpec(process, 2000);
+    Rng rng(22);
+    const std::vector<double> a = GenerateArrivalTimes(spec, &rng);
+    EXPECT_DOUBLE_EQ(a.front(), 0.0);
+    for (size_t i = 1; i < a.size(); ++i) {
+      EXPECT_LE(a[i - 1], a[i]) << ArrivalProcessName(process) << " @" << i;
+    }
+    // Realized mean rate within 15% of the spec.
+    const double realized =
+        static_cast<double>(a.size() - 1) / (a.back() - a.front());
+    EXPECT_NEAR(realized, spec.arrival_rate_qps,
+                0.15 * spec.arrival_rate_qps)
+        << ArrivalProcessName(process);
+  }
+}
+
+TEST(ArrivalTimes, BurstyIsBurstier) {
+  // The knob must change the process shape, not just relabel it: bursty
+  // interarrival gaps have a far higher coefficient of variation than the
+  // jittered-uniform ones (many near-zero gaps plus a few large ones).
+  auto gap_cv = [](const std::vector<double>& a) {
+    Accumulator gaps;
+    for (size_t i = 1; i < a.size(); ++i) gaps.Add(a[i] - a[i - 1]);
+    return gaps.StdDev() / gaps.Mean();
+  };
+  Rng r1(23), r2(23);
+  const std::vector<double> uniform =
+      GenerateArrivalTimes(ArrivalSpec(ArrivalProcess::kUniform, 2000), &r1);
+  const std::vector<double> bursty =
+      GenerateArrivalTimes(ArrivalSpec(ArrivalProcess::kBursty, 2000), &r2);
+  EXPECT_GT(gap_cv(bursty), 2.0 * gap_cv(uniform));
+}
 
 }  // namespace
 }  // namespace tcf

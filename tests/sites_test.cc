@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <thread>
 
@@ -259,6 +260,59 @@ TEST(SiteNetwork, SelfAndDisconnected) {
   SiteNetwork net(&frag);
   EXPECT_DOUBLE_EQ(net.ShortestPathCost(1, 1), 0.0);
   EXPECT_EQ(net.ShortestPathCost(0, 3), kInfinity);
+}
+
+TEST(SiteNetwork, ConcurrentQueriesFromManyThreads) {
+  // The coordinator is mutex-guarded: queries and batches may now be
+  // issued from any number of threads (the admission service's backend
+  // seam depends on this), and every answer must still match the oracle —
+  // no crossed request ids, no inbox mixups.
+  auto t = MakeTransport(10);
+  BondEnergyOptions bopts;
+  bopts.num_fragments = 4;
+  Fragmentation frag = BondEnergyFragmentation(t.graph, bopts);
+  SiteNetwork net(&frag);
+
+  // Sequentially precomputed expected answers.
+  Rng rng(17);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  std::vector<Weight> expected;
+  for (int i = 0; i < 24; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes()));
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes()));
+    queries.emplace_back(s, u);
+    expected.push_back(s == u ? 0.0 : Dijkstra(t.graph, s).distance[u]);
+  }
+
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t th = 0; th < 8; ++th) {
+    threads.emplace_back([&, th]() {
+      if (th % 2 == 0) {
+        // Single-query threads, each walking from its own offset.
+        for (size_t i = 0; i < queries.size(); ++i) {
+          const size_t j = (i + th * 5) % queries.size();
+          const Weight got =
+              net.ShortestPathCost(queries[j].first, queries[j].second);
+          if (!(got == expected[j] ||
+                std::abs(got - expected[j]) < 1e-9)) {
+            ++mismatches;
+          }
+        }
+      } else {
+        // Whole-batch threads racing the single-query threads.
+        const std::vector<Weight> got = net.BatchShortestPathCosts(queries);
+        for (size_t j = 0; j < queries.size(); ++j) {
+          if (!(got[j] == expected[j] ||
+                std::abs(got[j] - expected[j]) < 1e-9)) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
 }
 
 TEST(SiteNetwork, ManySequentialQueries) {

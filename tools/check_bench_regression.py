@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the bench JSON artifacts.
+
+Compares the current run of a bench (``--json`` output of
+``bench/batch_throughput`` or ``bench/service_latency``) against the
+previous run's baseline restored from the actions cache. Only throughput
+series — metric keys ending in ``_qps`` — are gated: the job fails when any
+of them regresses by more than ``--threshold`` (default 35%, generous
+because shared CI runners are noisy). Non-throughput metrics and
+improvements are reported but never fail the job.
+
+A missing or unreadable baseline soft-warns and exits 0 (first run on a
+branch, cache eviction). When ``GITHUB_STEP_SUMMARY`` is set, a Markdown
+comparison table is appended to the job summary.
+
+Usage:
+  check_bench_regression.py --baseline prev.json --current cur.json \
+      [--threshold 0.35]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if "metrics" not in doc or not isinstance(doc["metrics"], dict):
+        raise ValueError(f"{path}: no 'metrics' object")
+    return doc
+
+
+def gated(key):
+    return key.endswith("_qps")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="previous run's JSON (may be absent)")
+    parser.add_argument("--current", required=True,
+                        help="this run's JSON")
+    parser.add_argument("--threshold", type=float, default=0.35,
+                        help="max tolerated fractional qps drop "
+                             "(0.35 = fail below 65%% of baseline)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    name = current.get("benchmark", args.current)
+
+    try:
+        baseline = load(args.baseline)
+    except (OSError, ValueError) as err:
+        print(f"::warning::{name}: no usable baseline ({err}); "
+              "recording current run as the new baseline")
+        return 0
+
+    rows = []
+    failures = []
+    for key, cur in sorted(current["metrics"].items()):
+        base = baseline["metrics"].get(key)
+        if base is None:
+            rows.append((key, None, cur, "new"))
+            continue
+        change = (cur - base) / base if base else 0.0
+        status = "ok"
+        if gated(key) and base > 0 and cur < base * (1.0 - args.threshold):
+            status = "REGRESSION"
+            failures.append((key, base, cur, change))
+        elif not gated(key):
+            status = "info"
+        rows.append((key, base, cur, f"{change:+.1%} {status}"))
+
+    width = max(len(r[0]) for r in rows) if rows else 10
+    print(f"{name}: current vs baseline "
+          f"(gate: *_qps within {args.threshold:.0%})")
+    for key, base, cur, status in rows:
+        base_s = "-" if base is None else f"{base:12.1f}"
+        print(f"  {key:<{width}}  {base_s:>12} -> {cur:12.1f}  {status}")
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as f:
+            f.write(f"### {name} perf gate\n\n")
+            f.write("| metric | baseline | current | change |\n")
+            f.write("|---|---|---|---|\n")
+            for key, base, cur, status in rows:
+                base_s = "-" if base is None else f"{base:.1f}"
+                f.write(f"| `{key}` | {base_s} | {cur:.1f} | {status} |\n")
+            f.write("\n")
+
+    for key, base, cur, change in failures:
+        print(f"::error::{name}: {key} regressed {change:.1%} "
+              f"({base:.1f} -> {cur:.1f} q/s, tolerance "
+              f"{args.threshold:.0%})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
