@@ -6,9 +6,11 @@
 //   1. plan every query *in parallel* on the database's shared ThreadPool:
 //      each (from, to) pair is planned exactly once into a per-batch
 //      interned-plan memo (repeats — the whole point of hot-pair traffic —
-//      skip planning outright), each plan stamps its endpoints into the
-//      fragment pair's cached skeleton (no chain enumeration, no
-//      disconnection-set expansion on hot pairs),
+//      skip planning outright); distinct pairs first consult the
+//      *cross-batch* interned-plan cache (skeleton-relative plans that
+//      survive spec-table sealing, see dsa/chains.h), so a pair planned by
+//      an EARLIER batch skips chain lookup and dedup too and only
+//      re-stamps its hops into this batch's spec table,
 //   2. intern all keyhole subqueries into one mutex-striped
 //      ShardedSpecTable, so queries that hit the same (fragment,
 //      source-DS, target-DS) triple share a single site computation — and
@@ -67,6 +69,16 @@ struct BatchStats {
   /// subquery interning entirely. Misses count the distinct pairs planned.
   size_t plan_memo_hits = 0;
   size_t plan_memo_misses = 0;
+  /// Cross-batch interned-plan cache reuse, per distinct pair planned this
+  /// batch: a hit instantiated a skeleton-relative plan interned by an
+  /// *earlier* batch (or single query) against this database — no chain
+  /// lookup, no skeleton fetch, no chain dedup; a miss built and published
+  /// the plan for later batches. Both zero only when the whole chain-plan
+  /// cache is off (plan_cache_capacity == 0); with just cross-batch
+  /// interning disabled (interned_plan_cache_capacity == 0), every
+  /// distinct pair still counts as a miss (built, not published).
+  size_t interned_plan_hits = 0;
+  size_t interned_plan_misses = 0;
 
   double plan_seconds = 0.0;      // parallel planning + interning
   double phase1_seconds = 0.0;    // parallel subquery fan-out
@@ -93,6 +105,14 @@ struct BatchStats {
     const size_t lookups = plan_memo_hits + plan_memo_misses;
     return lookups == 0 ? 0.0
                         : static_cast<double>(plan_memo_hits) / lookups;
+  }
+  /// Fraction of this batch's distinct pairs served by plans interned
+  /// before the batch started (≈1 for a repeated batch on a warm cache).
+  double InternedPlanHitRate() const {
+    const size_t lookups = interned_plan_hits + interned_plan_misses;
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(interned_plan_hits) / lookups;
   }
   double QueriesPerSecond() const {
     return wall_seconds == 0.0 ? 0.0 : num_queries / wall_seconds;

@@ -76,7 +76,13 @@ PlanSkeleton BuildPlanSkeleton(const Fragmentation& frag, FragmentId from,
   return skeleton;
 }
 
-ChainPlanCache::ChainPlanCache(size_t capacity) : cache_(capacity) {}
+ChainPlanCache::ChainPlanCache(size_t capacity, size_t plan_capacity)
+    : cache_(capacity) {
+  if (plan_capacity > 0) {
+    plan_cache_ = std::make_unique<
+        LruCache<uint64_t, InternedPlan, PairKeyHash>>(plan_capacity);
+  }
+}
 
 std::shared_ptr<const PlanSkeleton> ChainPlanCache::SkeletonFor(
     const Fragmentation& frag, FragmentId from, FragmentId to,
@@ -99,6 +105,68 @@ ChainPlanCache::ChainsBetween(const Fragmentation& frag, FragmentId from,
       SkeletonFor(frag, from, to, max_chains, was_hit_out);
   return std::shared_ptr<const std::vector<FragmentChain>>(
       skeleton, &skeleton->chains);
+}
+
+InternedPlan BuildInternedPlan(const Fragmentation& frag, NodeId from,
+                               NodeId to, size_t max_chains,
+                               ChainPlanCache* cache) {
+  TCF_CHECK(cache != nullptr);
+  TCF_CHECK(from != to);
+  InternedPlan plan;
+  plan.from = from;
+  plan.to = to;
+
+  // A border node lives in several fragments and every one of them is a
+  // valid chain endpoint; chains shared between the endpoint-pair
+  // skeletons are deduplicated here, once, in first-seen order — the same
+  // order the per-batch planner used to produce, so instantiated plans
+  // are bit-identical to directly built ones.
+  for (FragmentId fa : frag.FragmentsOfNode(from)) {
+    for (FragmentId fb : frag.FragmentsOfNode(to)) {
+      bool was_hit = false;
+      std::shared_ptr<const PlanSkeleton> skeleton =
+          cache->SkeletonFor(frag, fa, fb, max_chains, &was_hit);
+      (was_hit ? plan.cache_hits : plan.cache_misses) += 1;
+      const uint32_t skeleton_index =
+          static_cast<uint32_t>(plan.skeletons.size());
+      plan.skeletons.push_back(skeleton);
+      for (size_t c = 0; c < skeleton->chains.size(); ++c) {
+        const FragmentChain& chain = skeleton->chains[c];
+        bool seen = false;
+        for (size_t i = 0; i < plan.num_chains() && !seen; ++i) {
+          seen = plan.chain(i) == chain;
+        }
+        if (seen) continue;
+        plan.chain_refs.push_back(
+            InternedPlan::ChainRef{skeleton_index, static_cast<uint32_t>(c)});
+      }
+    }
+  }
+  return plan;
+}
+
+std::shared_ptr<const InternedPlan> ChainPlanCache::PlanFor(
+    const Fragmentation& frag, NodeId from, NodeId to, size_t max_chains,
+    bool* was_hit_out) {
+  if (plan_cache_ == nullptr) {
+    if (was_hit_out != nullptr) *was_hit_out = false;
+    return std::make_shared<const InternedPlan>(
+        BuildInternedPlan(frag, from, to, max_chains, this));
+  }
+  const uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
+  if (std::shared_ptr<const InternedPlan> hit = plan_cache_->Get(key)) {
+    if (was_hit_out != nullptr) *was_hit_out = true;
+    return hit;
+  }
+  if (was_hit_out != nullptr) *was_hit_out = false;
+  // Build outside the cache lock and return OUR build even if a racer put
+  // the same key first: the racer's plan is semantically identical, and
+  // returning our own keeps the caller's skeleton-lookup accounting
+  // (plan.cache_hits/misses) consistent with what this call really did.
+  auto built = std::make_shared<const InternedPlan>(
+      BuildInternedPlan(frag, from, to, max_chains, this));
+  plan_cache_->Put(key, built);
+  return built;
 }
 
 }  // namespace tcf

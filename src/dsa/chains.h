@@ -11,8 +11,20 @@
 // ChainPlanCache keeps whole skeletons resident and a query is planned by
 // stamping its two endpoints into a cached skeleton, skipping both chain
 // enumeration and disconnection-set expansion on every hot fragment pair.
+//
+// One level up sits the *interned plan* (InternedPlan): a (from, to) NODE
+// pair's whole plan — its deduplicated chains, each referring back into
+// the skeletons it came from by skeleton-relative (skeleton, chain) refs.
+// Those refs are pure fragmentation metadata plus the two query constants;
+// they name no SpecTable slots, so they outlive any batch's spec-table
+// sealing. The ChainPlanCache keeps interned plans resident across batch
+// boundaries: a later batch (or single query) that repeats a hot (from,
+// to) pair skips endpoint-fragment location, skeleton lookups, and chain
+// deduplication outright, and only re-stamps the hop templates into its
+// own spec sink (see InstantiateInternedPlan in dsa/executor.h).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -21,7 +33,27 @@
 
 namespace tcf {
 
+/// Hash for PairKey-encoded (from, to) keys in plan caches and sharded
+/// plan memos. std::hash<uint64_t> is the identity on the common standard
+/// libraries, which would shard a memo by `to % num_shards` — a
+/// hub-destination batch would then serialize all planning on one shard
+/// mutex. Finalize with a full-avalanche mix (splitmix64) instead.
+struct PairKeyHash {
+  size_t operator()(uint64_t key) const {
+    key += 0x9e3779b97f4a7c15ull;
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(key ^ (key >> 31));
+  }
+};
+
 using FragmentChain = std::vector<FragmentId>;
+
+/// Default cap on enumerated chains per fragment pair — the single source
+/// of truth shared by DsaOptions::max_chains and the SiteNetwork
+/// coordinator planner (which must plan with the same cap to produce the
+/// same chain sets).
+inline constexpr size_t kDefaultMaxChains = 64;
 
 /// All simple paths from fragment `from` to fragment `to` in the
 /// fragmentation graph, shortest first, capped at `max_chains` (the paper's
@@ -56,20 +88,79 @@ struct PlanSkeleton {
 PlanSkeleton BuildPlanSkeleton(const Fragmentation& frag, FragmentId from,
                                FragmentId to, size_t max_chains);
 
+/// A (from, to) NODE pair's plan in skeleton-relative form: the
+/// deduplicated chains of every endpoint-fragment pair, each chain a
+/// (skeleton, chain) ref into one of the cached skeletons the plan holds
+/// alive. Nothing here names a SpecTable slot, so an interned plan
+/// survives batch boundaries — instantiation stamps `from`/`to` into the
+/// referenced hop templates and interns the hops into the *current*
+/// batch's spec sink (InstantiateInternedPlan in dsa/executor.h).
+struct InternedPlan {
+  NodeId from = 0;
+  NodeId to = 0;
+
+  /// A chain's home in the skeletons this plan references.
+  struct ChainRef {
+    uint32_t skeleton = 0;  // index into `skeletons`
+    uint32_t chain = 0;     // chain index within that skeleton
+  };
+
+  /// The distinct chains in BuildQueryPlan's first-seen order (border
+  /// nodes make several endpoint-fragment pairs contribute; duplicates
+  /// between their skeletons are dropped here, once, instead of per
+  /// batch) — stored as refs only, so a resident plan adds no chain
+  /// copies on top of the skeletons it pins.
+  std::vector<ChainRef> chain_refs;
+  /// The skeletons `chain_refs` index, kept alive for the plan's lifetime
+  /// (eviction from the skeleton cache cannot invalidate a plan — which
+  /// also means resident plans, not the skeleton cache's capacity, bound
+  /// skeleton memory once this cache is in play).
+  std::vector<std::shared_ptr<const PlanSkeleton>> skeletons;
+
+  /// Number of distinct chains.
+  size_t num_chains() const { return chain_refs.size(); }
+  /// The i-th distinct chain, resolved through its skeleton.
+  const FragmentChain& chain(size_t i) const {
+    const ChainRef ref = chain_refs[i];
+    return skeletons[ref.skeleton]->chains[ref.chain];
+  }
+  /// The i-th chain's hop templates.
+  const std::vector<HopTemplate>& hops(size_t i) const {
+    const ChainRef ref = chain_refs[i];
+    return skeletons[ref.skeleton]->hops[ref.chain];
+  }
+
+  /// Skeleton-cache lookups performed when this plan was built (the
+  /// per-batch accounting attributes them to the batch that built the
+  /// plan; cache hits of the plan itself cost zero skeleton lookups).
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+};
+
 /// A thread-safe LRU cache of plan skeletons keyed by (from, to) fragment
+/// pair, plus an LRU cache of interned plans keyed by (from, to) NODE
 /// pair. Skeletons are pure fragmentation-graph work — they depend on
 /// neither the query constants nor the data — so every query between the
 /// same endpoint fragments reuses one expansion. With F fragments there are
 /// at most F^2 keys, so a modest capacity usually caches the whole
 /// fragmentation graph; the LRU bound matters for large F (sharded
-/// deployments) and keeps hot pairs resident.
+/// deployments) and keeps hot pairs resident. Interned plans have up to
+/// N^2 node-pair keys, so their LRU bound does real work: it keeps the
+/// hot-pair plans of repeated traffic resident across batch boundaries.
 ///
 /// One cache serves one (Fragmentation, max_chains) combination: both are
 /// fixed per DsaDatabase, which owns the cache. All methods may be called
 /// concurrently.
 class ChainPlanCache {
  public:
-  explicit ChainPlanCache(size_t capacity = 4096);
+  static constexpr size_t kDefaultPlanCapacity = 1 << 16;
+
+  /// `capacity` bounds the skeleton cache (fragment-pair keys);
+  /// `plan_capacity` bounds the interned-plan cache (node-pair keys), with
+  /// 0 disabling cross-batch plan interning (PlanFor then builds every
+  /// time — the skeleton cache still serves the chain lookups).
+  explicit ChainPlanCache(size_t capacity = 4096,
+                          size_t plan_capacity = kDefaultPlanCapacity);
 
   /// The plan skeleton for `from` -> `to`, computed via BuildPlanSkeleton
   /// on a miss. `was_hit_out`, if non-null, reports whether this lookup was
@@ -87,13 +178,46 @@ class ChainPlanCache {
       const Fragmentation& frag, FragmentId from, FragmentId to,
       size_t max_chains, bool* was_hit_out = nullptr);
 
-  /// Cumulative hit/miss/eviction counters and resident entry count.
+  /// The interned plan for the NODE pair `from` -> `to`, built through
+  /// this cache's skeletons on a miss. A racing build of the same cold
+  /// pair may run twice (the loser's plan is returned to its caller and
+  /// simply not cached), which keeps every caller's skeleton-lookup
+  /// accounting consistent with the cumulative Stats(). `was_hit_out`, if
+  /// non-null, reports whether the plan came from cache. Requires
+  /// from != to.
+  std::shared_ptr<const InternedPlan> PlanFor(const Fragmentation& frag,
+                                              NodeId from, NodeId to,
+                                              size_t max_chains,
+                                              bool* was_hit_out = nullptr);
+
+  /// Cumulative skeleton-cache counters and resident entry count.
   LruCacheStats Stats() const { return cache_.Stats(); }
+  /// Cumulative interned-plan-cache counters (all zero when disabled).
+  LruCacheStats PlanStats() const {
+    return plan_cache_ == nullptr ? LruCacheStats{} : plan_cache_->Stats();
+  }
   size_t capacity() const { return cache_.capacity(); }
-  void Clear() { cache_.Clear(); }
+  size_t plan_capacity() const {
+    return plan_cache_ == nullptr ? 0 : plan_cache_->capacity();
+  }
+  void Clear() {
+    cache_.Clear();
+    if (plan_cache_ != nullptr) plan_cache_->Clear();
+  }
 
  private:
   LruCache<uint64_t, PlanSkeleton> cache_;
+  /// Interned plans by PairKey(from, to); null when plan_capacity == 0.
+  std::unique_ptr<LruCache<uint64_t, InternedPlan, PairKeyHash>> plan_cache_;
 };
+
+/// Builds the interned plan of a (from, to) node pair through `cache`'s
+/// skeletons: locate the endpoint fragments, fetch (or expand) each
+/// endpoint-pair skeleton, and dedupe the chains into skeleton-relative
+/// refs. Skeleton-cache accounting lands in the returned plan's
+/// cache_hits/cache_misses. Requires from != to.
+InternedPlan BuildInternedPlan(const Fragmentation& frag, NodeId from,
+                               NodeId to, size_t max_chains,
+                               ChainPlanCache* cache);
 
 }  // namespace tcf

@@ -93,54 +93,74 @@ ShardedSpecTable::Flat ShardedSpecTable::Flatten() {
   return flat;
 }
 
+namespace {
+
+// Appends one chain to `plan`: stamp the query constants into the hop
+// templates and intern one subquery per hop — shared between chains
+// (and, via a shared sink, between batched queries) when identical, so a
+// fragment computes each selection once.
+void StampChain(const FragmentChain& chain,
+                const std::vector<HopTemplate>& hops, NodeId from, NodeId to,
+                SpecSink* specs, QueryPlan* plan) {
+  plan->chains.push_back(chain);
+  std::vector<size_t>& refs = plan->chain_specs.emplace_back();
+  refs.reserve(hops.size());
+  for (const HopTemplate& hop : hops) {
+    SpecKey key(hop.fragment,
+                hop.source_is_endpoint ? std::vector<NodeId>{from}
+                                       : hop.sources,
+                hop.target_is_endpoint ? std::vector<NodeId>{to}
+                                       : hop.targets);
+    refs.push_back(specs->Intern(std::move(key)));
+  }
+}
+
+}  // namespace
+
+QueryPlan InstantiateInternedPlan(const InternedPlan& plan, SpecSink* specs) {
+  TCF_CHECK(specs != nullptr);
+  QueryPlan out;
+  out.chains.reserve(plan.num_chains());
+  out.chain_specs.reserve(plan.num_chains());
+  for (size_t c = 0; c < plan.num_chains(); ++c) {
+    StampChain(plan.chain(c), plan.hops(c), plan.from, plan.to, specs, &out);
+  }
+  return out;
+}
+
 QueryPlan BuildQueryPlan(const Fragmentation& frag, NodeId from, NodeId to,
                          size_t max_chains, ChainPlanCache* chain_cache,
                          SpecSink* specs) {
   TCF_CHECK(specs != nullptr);
   TCF_CHECK(from != to);
+
+  if (chain_cache != nullptr) {
+    bool was_hit = false;
+    std::shared_ptr<const InternedPlan> interned =
+        chain_cache->PlanFor(frag, from, to, max_chains, &was_hit);
+    QueryPlan plan = InstantiateInternedPlan(*interned, specs);
+    if (!was_hit) {
+      // The skeleton lookups happened inside BuildInternedPlan on behalf
+      // of this call; a cache hit performed none.
+      plan.cache_hits = interned->cache_hits;
+      plan.cache_misses = interned->cache_misses;
+    }
+    return plan;
+  }
+
   QueryPlan plan;
-
-  // Adds one chain of a skeleton: stamp the query constants into the hop
-  // templates and intern one subquery per hop — shared between chains
-  // (and, via a shared sink, between batched queries) when identical, so a
-  // fragment computes each selection once.
-  auto add_chain = [&](const FragmentChain& chain,
-                       const std::vector<HopTemplate>& hops) {
-    if (std::find(plan.chains.begin(), plan.chains.end(), chain) !=
-        plan.chains.end()) {
-      return;
-    }
-    plan.chains.push_back(chain);
-    std::vector<size_t>& refs = plan.chain_specs.emplace_back();
-    refs.reserve(hops.size());
-    for (const HopTemplate& hop : hops) {
-      SpecKey key(hop.fragment,
-                  hop.source_is_endpoint ? std::vector<NodeId>{from}
-                                         : hop.sources,
-                  hop.target_is_endpoint ? std::vector<NodeId>{to}
-                                         : hop.targets);
-      refs.push_back(specs->Intern(std::move(key)));
-    }
-  };
-
   // Locate the query constants; a border node lives in several fragments
   // and every one of them is a valid chain endpoint.
   for (FragmentId fa : frag.FragmentsOfNode(from)) {
     for (FragmentId fb : frag.FragmentsOfNode(to)) {
-      if (chain_cache != nullptr) {
-        bool was_hit = false;
-        auto skeleton =
-            chain_cache->SkeletonFor(frag, fa, fb, max_chains, &was_hit);
-        (was_hit ? plan.cache_hits : plan.cache_misses) += 1;
-        for (size_t c = 0; c < skeleton->chains.size(); ++c) {
-          add_chain(skeleton->chains[c], skeleton->hops[c]);
+      const PlanSkeleton skeleton = BuildPlanSkeleton(frag, fa, fb, max_chains);
+      for (size_t c = 0; c < skeleton.chains.size(); ++c) {
+        if (std::find(plan.chains.begin(), plan.chains.end(),
+                      skeleton.chains[c]) != plan.chains.end()) {
+          continue;
         }
-      } else {
-        const PlanSkeleton skeleton =
-            BuildPlanSkeleton(frag, fa, fb, max_chains);
-        for (size_t c = 0; c < skeleton.chains.size(); ++c) {
-          add_chain(skeleton.chains[c], skeleton.hops[c]);
-        }
+        StampChain(skeleton.chains[c], skeleton.hops[c], from, to, specs,
+                   &plan);
       }
     }
   }
@@ -157,22 +177,42 @@ ParallelPlanResult PlanBatchInParallel(
       ShardedTable<uint64_t, QueryPlan, PairKeyHash>>();
   ShardedSpecTable specs;
   std::atomic<size_t> memo_hits{0};
+  std::atomic<size_t> interned_hits{0};
+  std::atomic<size_t> interned_misses{0};
 
-  // Two layers of striping keep the coordinator scalable: the plan memo
-  // interns whole plans by (from, to) — repeats (hot-pair traffic) skip
-  // chain lookup and subquery interning — and the sharded spec table
-  // interns keyhole subqueries without a global lock, so identical
-  // selections within a query's chains or across queries are computed
-  // once. Plan refs stay shard-encoded until the table is sealed below.
+  // Three layers of reuse keep the coordinator scalable: the per-batch
+  // plan memo interns whole plans by (from, to) — repeats (hot-pair
+  // traffic) skip even spec interning — the cross-batch interned-plan
+  // cache (inside chain_cache) hands back skeleton-relative plans
+  // interned by *earlier* batches so hot pairs skip chain lookup and
+  // dedup entirely, and the sharded spec table interns keyhole subqueries
+  // without a global lock, so identical selections within a query's
+  // chains or across queries are computed once. Plan refs stay
+  // shard-encoded until the table is sealed below.
+  auto build_plan = [&](NodeId from, NodeId to) {
+    if (chain_cache == nullptr) {
+      return BuildQueryPlan(frag, from, to, max_chains, nullptr, &specs);
+    }
+    bool plan_hit = false;
+    std::shared_ptr<const InternedPlan> interned =
+        chain_cache->PlanFor(frag, from, to, max_chains, &plan_hit);
+    QueryPlan plan = InstantiateInternedPlan(*interned, &specs);
+    if (plan_hit) {
+      interned_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      interned_misses.fetch_add(1, std::memory_order_relaxed);
+      plan.cache_hits = interned->cache_hits;
+      plan.cache_misses = interned->cache_misses;
+    }
+    return plan;
+  };
   auto plan_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       const auto [from, to] = endpoints[i];
       if (from == to) continue;
       auto interned = out.memo->Intern(
-          PairKey(from, to), [&](const uint64_t&) {
-            return BuildQueryPlan(frag, from, to, max_chains, chain_cache,
-                                  &specs);
-          });
+          PairKey(from, to),
+          [&](const uint64_t&) { return build_plan(from, to); });
       out.plans[i] = interned.value;
       if (!interned.inserted) {
         memo_hits.fetch_add(1, std::memory_order_relaxed);
@@ -197,6 +237,8 @@ ParallelPlanResult PlanBatchInParallel(
     out.cache_misses += plan.cache_misses;
   });
   out.memo_hits = memo_hits.load(std::memory_order_relaxed);
+  out.interned_plan_hits = interned_hits.load(std::memory_order_relaxed);
+  out.interned_plan_misses = interned_misses.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -85,20 +85,6 @@ struct SpecKeyHash {
   size_t operator()(const SpecKey& key) const;
 };
 
-/// Hash for PairKey-encoded (from, to) keys in sharded plan memos.
-/// std::hash<uint64_t> is the identity on the common standard libraries,
-/// which would shard a memo by `to % num_shards` — a hub-destination batch
-/// would then serialize all planning on one shard mutex. Finalize with a
-/// full-avalanche mix (splitmix64) instead.
-struct PairKeyHash {
-  size_t operator()(uint64_t key) const {
-    key += 0x9e3779b97f4a7c15ull;
-    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
-    key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
-    return static_cast<size_t>(key ^ (key >> 31));
-  }
-};
-
 /// Where a planner interns its keyhole subqueries. Intern returns an
 /// opaque ref: for SpecTable it is the flat index into specs(); for
 /// ShardedSpecTable it is a shard-encoded handle that Flatten() later maps
@@ -172,16 +158,26 @@ struct QueryPlan {
   size_t cache_misses = 0;
 };
 
-/// Builds the plan for a (from, to) query: fetch the plan skeleton of
-/// every endpoint-fragment pair (through `chain_cache` when non-null,
-/// expanded on the spot otherwise), dedupe the chains, and intern one
-/// subquery per chain hop into `specs` by stamping the query constants
-/// into the skeleton's hop templates. Requires from != to. Thread-safe for
-/// concurrent callers sharing one cache, as long as the sink is its own
-/// (SpecTable) or internally synchronized (ShardedSpecTable).
+/// Builds the plan for a (from, to) query. With a cache, the (from, to)
+/// node pair's *interned plan* is fetched (built through the cache's
+/// skeletons on a miss — it survives batch boundaries, so hot pairs skip
+/// fragment location, skeleton lookups, and chain dedup on every later
+/// query) and instantiated into `specs`; without one, every skeleton is
+/// expanded on the spot. Either way each chain hop's subquery is interned
+/// into `specs` with the query constants stamped into the endpoint slots.
+/// Requires from != to. Thread-safe for concurrent callers sharing one
+/// cache, as long as the sink is its own (SpecTable) or internally
+/// synchronized (ShardedSpecTable).
 QueryPlan BuildQueryPlan(const Fragmentation& frag, NodeId from, NodeId to,
                          size_t max_chains, ChainPlanCache* chain_cache,
                          SpecSink* specs);
+
+/// Stamps an interned plan's endpoints into its skeleton-relative hop
+/// templates and interns one subquery per hop into `specs` — the
+/// cross-batch fast path of BuildQueryPlan. The produced QueryPlan is
+/// bit-identical to building from scratch; its cache_hits/cache_misses
+/// are zero (instantiation performs no skeleton lookups).
+QueryPlan InstantiateInternedPlan(const InternedPlan& plan, SpecSink* specs);
 
 /// A whole batch of endpoint pairs planned in parallel: one plan pointer
 /// per pair (nullptr for trivial from == to pairs), the sealed flat spec
@@ -194,6 +190,11 @@ struct ParallelPlanResult {
   /// Pairs whose (from, to) plan was already interned — they skipped
   /// chain lookup and subquery interning outright.
   size_t memo_hits = 0;
+  /// Cross-batch interned-plan cache accounting, counted per distinct
+  /// pair planned this batch: a hit instantiated a plan interned by an
+  /// earlier batch (or single query); a miss built and published it.
+  size_t interned_plan_hits = 0;
+  size_t interned_plan_misses = 0;
   /// Skeleton-cache accounting summed over the distinct plans.
   size_t cache_hits = 0;
   size_t cache_misses = 0;

@@ -19,8 +19,8 @@ DsaDatabase::DsaDatabase(const Fragmentation* frag, DsaOptions options)
                                                   : frag_->NumFragments();
   pool_ = std::make_unique<ThreadPool>(threads);
   if (options_.plan_cache_capacity > 0) {
-    plan_cache_ =
-        std::make_unique<ChainPlanCache>(options_.plan_cache_capacity);
+    plan_cache_ = std::make_unique<ChainPlanCache>(
+        options_.plan_cache_capacity, options_.interned_plan_cache_capacity);
   }
 }
 

@@ -27,13 +27,22 @@ struct DsaOptions {
   /// Threads for phase 1; 0 = one per fragment.
   size_t num_threads = 0;
   /// Cap on enumerated chains when the fragmentation graph has cycles.
-  size_t max_chains = 64;
+  size_t max_chains = kDefaultMaxChains;
   /// Ablation switch: evaluate without the complementary information
   /// (answers may then be over-estimates; see EXPERIMENTS.md).
   bool use_complementary = true;
   /// Capacity of the chain-plan LRU cache (entries are fragment pairs);
   /// 0 disables plan caching.
   size_t plan_cache_capacity = 4096;
+  /// Capacity of the cross-batch interned-plan LRU cache (entries are
+  /// (from, to) node pairs; plans are skeleton-relative, so they survive
+  /// batch boundaries). 0 disables cross-batch plan interning; the whole
+  /// cache is off when plan_cache_capacity == 0. Memory note: resident
+  /// plans pin the skeletons they reference, so on workloads with few
+  /// node-pair repeats (where the cache cannot pay off) this capacity —
+  /// not plan_cache_capacity — is what bounds planner memory; shrink it
+  /// (or disable it) there.
+  size_t interned_plan_cache_capacity = ChainPlanCache::kDefaultPlanCapacity;
 };
 
 /// A fragmented database ready to answer transitive-closure queries.

@@ -18,6 +18,8 @@ std::vector<Weight> DatabaseBackend::ExecuteBatch(
   cumulative_.plan_cache_misses += result.stats.plan_cache_misses;
   cumulative_.plan_memo_hits += result.stats.plan_memo_hits;
   cumulative_.plan_memo_misses += result.stats.plan_memo_misses;
+  cumulative_.interned_plan_hits += result.stats.interned_plan_hits;
+  cumulative_.interned_plan_misses += result.stats.interned_plan_misses;
   cumulative_.plan_seconds += result.stats.plan_seconds;
   cumulative_.phase1_seconds += result.stats.phase1_seconds;
   cumulative_.assemble_seconds += result.stats.assemble_seconds;
@@ -39,131 +41,249 @@ std::vector<Weight> SiteNetworkBackend::ExecuteBatch(
   return net_->BatchShortestPathCosts(pairs);
 }
 
+namespace {
+
+size_t ClampShards(size_t requested) {
+  return std::clamp<size_t>(requested, 1, 256);
+}
+
+}  // namespace
+
 QueryService::QueryService(const DsaDatabase* db, ServiceOptions options)
     : options_(options),
       owned_backend_(std::make_unique<DatabaseBackend>(db)),
       backend_(owned_backend_.get()),
-      start_time_(std::chrono::steady_clock::now()) {
-  TCF_CHECK(options_.max_batch > 0);
-  TCF_CHECK(options_.queue_capacity > 0);
-  admission_thread_ = std::thread([this]() { AdmissionLoop(); });
+      db_(db) {
+  Start();
 }
 
 QueryService::QueryService(ServiceBackend* backend, ServiceOptions options)
-    : options_(options),
-      backend_(backend),
-      start_time_(std::chrono::steady_clock::now()) {
+    : options_(options), backend_(backend) {
   TCF_CHECK(backend != nullptr);
+  Start();
+}
+
+void QueryService::Start() {
   TCF_CHECK(options_.max_batch > 0);
   TCF_CHECK(options_.queue_capacity > 0);
+  options_.admission_shards = ClampShards(options_.admission_shards);
+  shards_.resize(options_.admission_shards);
+  for (auto& shard : shards_) shard = std::make_unique<Shard>();
+  stats_.latency_seconds = Accumulator(options_.latency_sample_cap);
+  stats_.batch_fill = Accumulator(options_.latency_sample_cap);
+  start_time_ = std::chrono::steady_clock::now();
   admission_thread_ = std::thread([this]() { AdmissionLoop(); });
 }
 
 QueryService::~QueryService() { Shutdown(); }
 
-std::future<Weight> QueryService::Enqueue(Query query, bool* accepted_out) {
+QueryService::Shard& QueryService::ShardForThisThread() {
+  // Per-client (thread) affinity: one client's queries stay FIFO within
+  // its stripe and two clients contend only on a hash collision. Thread
+  // ids hash poorly on common standard libraries (they are pointers or
+  // small integers), so finish with a full-avalanche mix.
+  const size_t raw = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return *shards_[PairKeyHash{}(static_cast<uint64_t>(raw)) % shards_.size()];
+}
+
+std::optional<std::future<Weight>> QueryService::Admit(Query query,
+                                                       bool blocking) {
   Pending pending;
   pending.query = query;
   pending.submit_time = std::chrono::steady_clock::now();
   std::future<Weight> future = pending.promise.get_future();
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  space_cv_.wait(lock, [this]() {
-    return queue_.size() < options_.queue_capacity || stop_requested_;
-  });
-  if (stop_requested_) {
-    if (accepted_out != nullptr) *accepted_out = false;
-    pending.promise.set_exception(std::make_exception_ptr(
-        std::runtime_error("QueryService is shut down")));
-    return future;
+  // Validate at admission when the domain is known: one bad query must
+  // fail its own future, not trip the backend's TCF_CHECK on the flush
+  // thread and take the whole service down.
+  if (db_ != nullptr) {
+    const size_t num_nodes = db_->fragmentation().graph().NumNodes();
+    if (query.from >= num_nodes || query.to >= num_nodes) {
+      pending.promise.set_exception(std::make_exception_ptr(
+          std::out_of_range("query endpoint out of range")));
+      return future;
+    }
+    if (query.kind == QueryKind::kRoute && !db_->options().use_complementary) {
+      pending.promise.set_exception(std::make_exception_ptr(std::out_of_range(
+          "route queries require complementary information")));
+      return future;
+    }
   }
-  queue_.push_back(std::move(pending));
-  ++stats_.submitted;
-  if (accepted_out != nullptr) *accepted_out = true;
-  lock.unlock();
-  queue_cv_.notify_one();
+
+  Shard& shard = ShardForThisThread();
+  bool ring = false;
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    if (blocking) {
+      shard.space_cv.wait(lock, [&]() {
+        return shard.queue.size() < options_.queue_capacity || shard.stopping;
+      });
+      if (shard.stopping) {
+        pending.promise.set_exception(std::make_exception_ptr(
+            std::runtime_error("QueryService is shut down")));
+        return future;
+      }
+    } else {
+      if (shard.stopping) return std::nullopt;
+      if (shard.queue.size() >= options_.queue_capacity) {
+        ++shard.rejected;
+        return std::nullopt;
+      }
+    }
+    shard.queue.push_back(std::move(pending));
+    ++shard.submitted;
+    const size_t before = pending_.fetch_add(1, std::memory_order_relaxed);
+    ring = before == 0 || before + 1 == options_.max_batch;
+  }
+  if (ring) RingDoorbell();
   return future;
 }
 
+void QueryService::RingDoorbell() {
+  // The empty critical section is what makes the notify reliable: the
+  // flush thread evaluates its sleep predicate while holding
+  // flush_mutex_, so the notify cannot land inside its check-then-sleep
+  // window. Only the submitter whose push made the total pending count
+  // non-empty (the flush thread may be sleeping with no deadline) or
+  // made it cross max_batch (the flush thread may be sleeping until the
+  // max_wait deadline) rings; every other submit touches no global state
+  // beyond one uncontended atomic increment.
+  { std::lock_guard<std::mutex> doorbell(flush_mutex_); }
+  flush_cv_.notify_one();
+}
+
 std::future<Weight> QueryService::SubmitShortestPath(NodeId from, NodeId to) {
-  return Enqueue(Query{from, to, QueryKind::kCost}, nullptr);
+  return *Admit(Query{from, to, QueryKind::kCost}, /*blocking=*/true);
 }
 
 std::optional<std::future<Weight>> QueryService::TrySubmit(NodeId from,
                                                            NodeId to) {
-  Pending pending;
-  pending.query = Query{from, to, QueryKind::kCost};
-  pending.submit_time = std::chrono::steady_clock::now();
-  std::future<Weight> future = pending.promise.get_future();
-
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stop_requested_) return std::nullopt;
-    if (queue_.size() >= options_.queue_capacity) {
-      ++stats_.rejected;
-      return std::nullopt;
-    }
-    queue_.push_back(std::move(pending));
-    ++stats_.submitted;
-  }
-  queue_cv_.notify_one();
-  return future;
+  return Admit(Query{from, to, QueryKind::kCost}, /*blocking=*/false);
 }
 
 std::vector<std::future<Weight>> QueryService::SubmitBatch(
     const std::vector<Query>& queries) {
   std::vector<std::future<Weight>> futures;
   futures.reserve(queries.size());
-  for (const Query& q : queries) futures.push_back(Enqueue(q, nullptr));
+  for (const Query& q : queries) {
+    futures.push_back(*Admit(q, /*blocking=*/true));
+  }
   return futures;
 }
 
 void QueryService::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_requested_ = true;
+  // Flag every shard under its own lock FIRST: a submitter that pushed
+  // after reading `stopping == false` is ordered before this sweep by the
+  // shard mutex, and the sweep is ordered before the release-store of
+  // stop_requested_ — so when the flush thread acquires the flag and
+  // drains, every admitted entry is visible to it. Submitters blocked on
+  // a full shard are woken here and rejected instead of deadlocking.
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->stopping = true;
+    }
+    shard->space_cv.notify_all();
   }
-  queue_cv_.notify_all();
-  space_cv_.notify_all();
+  stop_requested_.store(true, std::memory_order_release);
+  { std::lock_guard<std::mutex> doorbell(flush_mutex_); }
+  flush_cv_.notify_all();
   // join() exactly once even when Shutdown races itself (it is documented
   // thread-safe like every other public method).
   std::call_once(join_once_, [this]() { admission_thread_.join(); });
 }
 
 ServiceStats QueryService::Stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   ServiceStats snapshot = stats_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    snapshot.submitted += shard->submitted;
+    snapshot.rejected += shard->rejected;
+  }
   const auto end = stopped_ ? stop_time_ : std::chrono::steady_clock::now();
   snapshot.elapsed_seconds =
       std::chrono::duration<double>(end - start_time_).count();
   return snapshot;
 }
 
-void QueryService::AdmissionLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
-    queue_cv_.wait(lock,
-                   [this]() { return !queue_.empty() || stop_requested_; });
-    if (queue_.empty()) {
-      // stop_requested_ and nothing left to drain.
-      break;
+std::chrono::steady_clock::time_point QueryService::OldestSubmitTime() const {
+  auto oldest = std::chrono::steady_clock::time_point::max();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (!shard->queue.empty()) {
+      oldest = std::min(oldest, shard->queue.front().submit_time);
     }
-    // Flush on size or on the oldest entry's time window; a shutdown
-    // request drains immediately.
-    const auto deadline = queue_.front().submit_time + options_.max_wait;
-    queue_cv_.wait_until(lock, deadline, [this]() {
-      return queue_.size() >= options_.max_batch || stop_requested_;
-    });
+  }
+  return oldest;
+}
 
-    const size_t fill = std::min(queue_.size(), options_.max_batch);
-    std::vector<Pending> admitted;
-    admitted.reserve(fill);
-    for (size_t i = 0; i < fill; ++i) {
-      admitted.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+std::vector<QueryService::Pending> QueryService::CollectBatch() {
+  std::vector<Pending> admitted;
+
+  // Hold every shard lock for the merge (in shard order — submitters only
+  // ever take one, so the ordering cannot deadlock): entries are popped
+  // globally oldest-first, which is exactly the single-queue admission
+  // order, so no stripe can starve under overload.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+
+  std::vector<bool> popped(shards_.size(), false);
+  while (admitted.size() < options_.max_batch) {
+    size_t best = shards_.size();
+    auto best_time = std::chrono::steady_clock::time_point::max();
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const auto& queue = shards_[s]->queue;
+      if (!queue.empty() && queue.front().submit_time < best_time) {
+        best_time = queue.front().submit_time;
+        best = s;
+      }
     }
-    lock.unlock();
-    space_cv_.notify_all();
+    if (best == shards_.size()) break;  // all shards empty
+    admitted.push_back(std::move(shards_[best]->queue.front()));
+    shards_[best]->queue.pop_front();
+    popped[best] = true;
+  }
+  pending_.fetch_sub(admitted.size(), std::memory_order_relaxed);
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    locks[s].unlock();
+    if (popped[s]) shards_[s]->space_cv.notify_all();
+  }
+  return admitted;
+}
+
+void QueryService::AdmissionLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(flush_mutex_);
+      flush_cv_.wait(lock, [this]() {
+        return stop_requested_.load(std::memory_order_acquire) ||
+               pending_.load(std::memory_order_relaxed) > 0;
+      });
+      if (!stop_requested_.load(std::memory_order_acquire)) {
+        // Flush on size or on the oldest entry's time window; a shutdown
+        // request drains immediately. Only this thread pops, so the
+        // pending entry behind OldestSubmitTime() cannot vanish while we
+        // wait.
+        const auto deadline = OldestSubmitTime() + options_.max_wait;
+        flush_cv_.wait_until(lock, deadline, [this]() {
+          return stop_requested_.load(std::memory_order_acquire) ||
+                 pending_.load(std::memory_order_relaxed) >=
+                     options_.max_batch;
+        });
+      }
+    }
+
+    std::vector<Pending> admitted = CollectBatch();
+    if (admitted.empty()) {
+      // stop_requested_ and nothing left to drain (the shard-flag
+      // protocol in Shutdown() guarantees no admission can appear after
+      // this sweep).
+      if (stop_requested_.load(std::memory_order_acquire)) break;
+      continue;
+    }
 
     std::vector<Query> batch;
     batch.reserve(admitted.size());
@@ -181,18 +301,19 @@ void QueryService::AdmissionLoop() {
       latencies.push_back(
           std::chrono::duration<double>(done - p.submit_time).count());
     }
-    lock.lock();
-    ++stats_.batches;
-    stats_.completed += admitted.size();
-    stats_.batch_fill.Add(static_cast<double>(admitted.size()));
-    stats_.latency_seconds.AddAll(latencies);
-    lock.unlock();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.batches;
+      stats_.completed += admitted.size();
+      stats_.batch_fill.Add(static_cast<double>(admitted.size()));
+      stats_.latency_seconds.AddAll(latencies);
+    }
 
     for (size_t i = 0; i < admitted.size(); ++i) {
       admitted[i].promise.set_value(costs[i]);
     }
-    lock.lock();
   }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   stopped_ = true;
   stop_time_ = std::chrono::steady_clock::now();
 }

@@ -8,19 +8,34 @@
 // and the skeleton cache of the batch executor without any client knowing
 // about batching.
 //
+// The admission path is *sharded*: submitters are striped by thread
+// affinity over `admission_shards` independent bounded queues (own mutex,
+// own backpressure condition), so concurrent clients contend only within
+// their stripe instead of on one global admission mutex. One flush thread
+// coalesces across all shards — it merges pending entries oldest-first
+// into micro-batches — which preserves the single-queue semantics
+// exactly: flush on size (total pending ≥ max_batch) or on time window
+// (oldest pending entry older than max_wait), bounded per-shard
+// backpressure, and drain-on-shutdown.
+//
 // Admission policy (ServiceOptions):
-//   - max_batch:      flush as soon as this many queries are pending,
-//   - max_wait:       flush a non-empty queue no later than this after its
-//                     oldest entry arrived — the latency bound: a query's
-//                     p99 latency is bounded by max_wait plus one batch
-//                     execution,
-//   - queue_capacity: bounded admission queue. Submit* blocks when full
-//                     (closed-loop backpressure); TrySubmit rejects and the
-//                     rejection is counted in ServiceStats.
+//   - max_batch:        flush as soon as this many queries are pending
+//                       across all shards,
+//   - max_wait:         flush a non-empty queue no later than this after
+//                       its oldest entry arrived — the latency bound: a
+//                       query's p99 latency is bounded by max_wait plus
+//                       one batch execution,
+//   - queue_capacity:   bounded admission queue, per shard. Submit*
+//                       blocks when its shard is full (closed-loop
+//                       backpressure); TrySubmit rejects and the
+//                       rejection is counted in ServiceStats.
+//   - admission_shards: number of admission queue stripes.
 //
 // Shutdown() drains: every query admitted before the shutdown flag is
 // observed is executed and its future fulfilled; submissions arriving
 // after that get a future carrying std::runtime_error instead of a value.
+// Submitters blocked on a full shard are woken by Shutdown() and rejected
+// the same way — backpressure never deadlocks a shutdown.
 //
 // The backend seam (ServiceBackend) is what makes the admission loop
 // deployment-agnostic: DatabaseBackend drives the in-process DsaDatabase
@@ -29,6 +44,7 @@
 // direction in ROADMAP.md.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -47,8 +63,8 @@ namespace tcf {
 class SiteNetwork;
 
 /// Where admitted micro-batches execute. Called only from the service's
-/// single admission thread, so implementations need not be re-entrant —
-/// but they may be shared with other traffic (BatchExecutor is re-entrant;
+/// single flush thread, so implementations need not be re-entrant — but
+/// they may be shared with other traffic (BatchExecutor is re-entrant;
 /// SiteNetwork serializes its coordinator internally).
 class ServiceBackend {
  public:
@@ -70,7 +86,7 @@ class DatabaseBackend : public ServiceBackend {
   std::vector<Weight> ExecuteBatch(const std::vector<Query>& queries) override;
 
   /// Batch-core accounting summed over all micro-batches this backend ran
-  /// (dedup savings, plan-memo skips, ...).
+  /// (dedup savings, plan-memo skips, cross-batch plan-cache hits, ...).
   const BatchStats& cumulative_stats() const { return cumulative_; }
 
  private:
@@ -94,20 +110,31 @@ class SiteNetworkBackend : public ServiceBackend {
 struct ServiceOptions {
   size_t max_batch = 64;
   std::chrono::microseconds max_wait{2000};
+  /// Bounded admission-queue depth, PER SHARD (total admitted backlog is
+  /// bounded by admission_shards * queue_capacity).
   size_t queue_capacity = 4096;
+  /// Admission-queue stripes; submitters are striped by thread affinity.
+  /// Clamped to [1, 256]. 1 reproduces the single-queue service.
+  size_t admission_shards = 4;
+  /// Cap on the stored per-query latency and per-batch fill samples
+  /// behind the percentile/fill accounting (a uniform reservoir over the
+  /// whole stream — see util/stats.h), so a long-running service does not
+  /// grow memory without bound. 0 keeps every sample.
+  size_t latency_sample_cap = 1 << 16;
 };
 
 /// Service-level accounting, snapshot via QueryService::Stats().
 struct ServiceStats {
   size_t submitted = 0;  // admitted into the queue
   size_t completed = 0;  // futures fulfilled with an answer
-  size_t rejected = 0;   // TrySubmit refusals on a full queue
+  size_t rejected = 0;   // TrySubmit refusals on a full shard
   size_t batches = 0;    // micro-batches executed
 
-  /// Per-query admission-to-answer latency, in seconds.
+  /// Per-query admission-to-answer latency, in seconds (sample storage
+  /// capped by ServiceOptions::latency_sample_cap).
   Accumulator latency_seconds;
   /// Queries per executed micro-batch (the fill distribution: ≈max_batch
-  /// under load, ≈1 under trickle traffic).
+  /// under load, ≈1 under trickle traffic; same sample cap as latency).
   Accumulator batch_fill;
 
   /// Wall time from service start to this snapshot (frozen at drain end
@@ -130,9 +157,9 @@ struct ServiceStats {
 };
 
 /// The admission service: any number of client threads submit single
-/// queries and receive futures; one admission thread coalesces them into
-/// micro-batches and executes them on the backend. All public methods are
-/// thread-safe.
+/// queries and receive futures; one flush thread coalesces them across the
+/// admission shards into micro-batches and executes them on the backend.
+/// All public methods are thread-safe.
 class QueryService {
  public:
   /// Serve `db` through an internally owned DatabaseBackend. `db` must
@@ -147,29 +174,35 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Submit one shortest-path cost query. Blocks while the queue is full;
-  /// the future carries the cost (kInfinity when unconnected), or
-  /// std::runtime_error if the service was already shut down.
+  /// Submit one shortest-path cost query. Blocks while the submitter's
+  /// shard is full; the future carries the cost (kInfinity when
+  /// unconnected), or std::runtime_error if the service was already shut
+  /// down, or std::out_of_range for an invalid query (database-backed
+  /// services validate at admission, so one bad query fails its own
+  /// future instead of reaching the flush thread).
   std::future<Weight> SubmitShortestPath(NodeId from, NodeId to);
 
-  /// Non-blocking submit: nullopt when the queue is full (counted as a
-  /// rejection) or the service is shut down.
+  /// Non-blocking submit: nullopt when the shard is full (counted as a
+  /// rejection) or the service is shut down. An invalid query returns a
+  /// future carrying std::out_of_range (it was not rejected for space).
   std::optional<std::future<Weight>> TrySubmit(NodeId from, NodeId to);
 
   /// Submit a pre-formed batch, keeping one future per query (in query
-  /// order). Blocks element-wise when the queue fills; the admission loop
+  /// order). Blocks element-wise when the shard fills; the admission loop
   /// may split or merge the batch with concurrent submissions.
   std::vector<std::future<Weight>> SubmitBatch(
       const std::vector<Query>& queries);
 
   /// Stops admission and drains: blocks until every admitted query's
-  /// future is fulfilled and the admission thread has exited. Idempotent.
+  /// future is fulfilled and the flush thread has exited. Idempotent.
   void Shutdown();
 
   /// Snapshot of the accounting so far.
   ServiceStats Stats() const;
 
   const ServiceOptions& options() const { return options_; }
+  /// The clamped admission-shard count actually in use.
+  size_t num_shards() const { return shards_.size(); }
 
  private:
   struct Pending {
@@ -178,22 +211,74 @@ class QueryService {
     std::chrono::steady_clock::time_point submit_time;
   };
 
-  std::future<Weight> Enqueue(Query query, bool* accepted_out);
+  /// One admission stripe: bounded queue + its backpressure condition.
+  /// `mutex` guards everything in the struct. Lock ordering: a shard
+  /// mutex is always the innermost lock (submitters take it alone; the
+  /// flush thread takes it while holding flush_mutex_ or stats_mutex_,
+  /// never the reverse).
+  struct Shard {
+    mutable std::mutex mutex;
+    std::condition_variable space_cv;  // blocked submitters wait here
+    std::deque<Pending> queue;
+    size_t submitted = 0;  // admitted via this shard
+    size_t rejected = 0;   // TrySubmit refusals on this shard
+    /// Set under `mutex` by Shutdown(). Submitters check THIS flag, not
+    /// the atomic: reading it false under the shard lock proves the push
+    /// happens-before Shutdown's sweep of this shard, so the drain cannot
+    /// miss an in-flight admission.
+    bool stopping = false;
+  };
+
+  /// Shared constructor tail: validates options, builds the shards and
+  /// capped accumulators, starts the flush thread.
+  void Start();
+  Shard& ShardForThisThread();
+  /// The one admission path behind every Submit*: validates (when a
+  /// database is known), then pushes into the submitter's shard. Blocking
+  /// admission always returns a future (possibly carrying the shutdown or
+  /// validation error); non-blocking returns nullopt on a full shard
+  /// (counted as a rejection) or after shutdown.
+  std::optional<std::future<Weight>> Admit(Query query, bool blocking);
+  /// Wakes the flush thread reliably (see the definition for when
+  /// submitters need to).
+  void RingDoorbell();
   void AdmissionLoop();
+
+  std::chrono::steady_clock::time_point OldestSubmitTime() const;
+  /// Pops up to max_batch entries, merged globally oldest-first across
+  /// all shards (no stripe can starve), notifying space on every shard it
+  /// popped from.
+  std::vector<Pending> CollectBatch();
 
   ServiceOptions options_;
   std::unique_ptr<DatabaseBackend> owned_backend_;
   ServiceBackend* backend_;  // owned_backend_.get() or external
+  /// Known only for database-backed services; enables admission-time
+  /// query validation (external backends define their own domain).
+  const DsaDatabase* db_ = nullptr;
 
-  mutable std::mutex mutex_;
-  std::condition_variable queue_cv_;  // admission thread waits here
-  std::condition_variable space_cv_;  // blocked submitters wait here
-  std::deque<Pending> queue_;
-  bool stop_requested_ = false;
-  bool stopped_ = false;  // admission thread exited; elapsed frozen
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stop_requested_{false};
+  /// Total entries across all shard queues. Incremented inside the
+  /// submitter's shard critical section, decremented by CollectBatch
+  /// while it holds every shard lock, so it always equals the true total
+  /// at those points; the flush thread's sleep predicates read it as a
+  /// lock-free hint (CollectBatch's full sweep is the authority).
+  std::atomic<size_t> pending_{0};
+
+  /// The flush thread's doorbell: submitters ring it after enqueueing;
+  /// the flush thread sleeps here between micro-batches. Guards no data —
+  /// the predicate reads the shard queues under their own locks.
+  mutable std::mutex flush_mutex_;
+  std::condition_variable flush_cv_;
+
+  /// Guards the aggregate accounting and the start/stop timestamps.
+  mutable std::mutex stats_mutex_;
   ServiceStats stats_;
+  bool stopped_ = false;  // flush thread exited; elapsed frozen
   std::chrono::steady_clock::time_point start_time_;
   std::chrono::steady_clock::time_point stop_time_;
+
   std::once_flag join_once_;
   std::thread admission_thread_;
 };

@@ -7,14 +7,6 @@
 
 namespace tcf {
 
-namespace {
-
-/// Chain-enumeration cap of the coordinator planner (matches the
-/// DsaOptions::max_chains default).
-constexpr size_t kMaxChains = 64;
-
-}  // namespace
-
 SiteNetwork::SiteNetwork(const Fragmentation* frag, LocalEngine engine)
     : frag_(frag), engine_(engine) {
   TCF_CHECK(frag != nullptr);
@@ -78,14 +70,17 @@ std::vector<Weight> SiteNetwork::BatchShortestPathCosts(
   // Plan every query in parallel on the coordinator's planner pool,
   // through the exact machinery of the in-process batch executor
   // (PlanBatchInParallel: sharded plan memo + sharded spec table +
-  // skeleton cache) — one message per distinct (fragment, selection) no
-  // matter how many queries or chains need it.
+  // skeleton cache + the cross-batch interned-plan cache, so a round that
+  // repeats an earlier round's (from, to) pairs skips planning them) —
+  // one message per distinct (fragment, selection) no matter how many
+  // queries or chains need it.
   for (const auto& [from, to] : queries) {
     TCF_CHECK(from < num_nodes);
     TCF_CHECK(to < num_nodes);
   }
   ParallelPlanResult planned = PlanBatchInParallel(
-      *frag_, queries, kMaxChains, plan_cache_.get(), planner_pool_.get());
+      *frag_, queries, kDefaultMaxChains, plan_cache_.get(),
+      planner_pool_.get());
   const std::vector<LocalQuerySpec>& flat_specs = planned.flat.specs;
 
   // Phase 0: all subquery messages are sent before any result is awaited;

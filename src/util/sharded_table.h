@@ -106,6 +106,15 @@ class ShardedTable {
     }
   }
 
+  /// Read-only traversal: `fn(const Value&)`, same locking contract.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t s = 0; s < num_shards_; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mutex);
+      for (const Value& value : shards_[s].values) fn(value);
+    }
+  }
+
   /// The sealed form of a table: all values in one contiguous vector, in
   /// shard-major order, plus the offset table that maps handles to flat
   /// indices.

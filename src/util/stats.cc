@@ -3,25 +3,56 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <numeric>
 
 #include "util/status.h"
 
 namespace tcf {
 
-void Accumulator::Add(double sample) { samples_.push_back(sample); }
+namespace {
 
-void Accumulator::AddAll(const std::vector<double>& samples) {
-  samples_.insert(samples_.end(), samples.begin(), samples.end());
+// splitmix64: the reservoir needs a cheap deterministic generator and must
+// not drag util/rng.h into every stats user.
+uint64_t NextState(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
 }
 
-double Accumulator::Sum() const {
-  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}  // namespace
+
+void Accumulator::Store(double sample) {
+  if (max_samples_ == 0 || samples_.size() < max_samples_) {
+    samples_.push_back(sample);
+    return;
+  }
+  // Algorithm R: the i-th sample (1-based) replaces a stored one with
+  // probability max_samples / i, keeping the reservoir a uniform sample
+  // of everything seen so far.
+  const uint64_t slot = NextState(&reservoir_state_) % count_;
+  if (slot < max_samples_) samples_[slot] = sample;
+}
+
+void Accumulator::Add(double sample) {
+  ++count_;
+  sum_ += sample;
+  if (count_ == 1) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  Store(sample);
+  sorted_valid_ = false;
+}
+
+void Accumulator::AddAll(const std::vector<double>& samples) {
+  for (double s : samples) Add(s);
 }
 
 double Accumulator::Mean() const {
-  TCF_CHECK(!samples_.empty());
-  return Sum() / static_cast<double>(samples_.size());
+  TCF_CHECK(count_ > 0);
+  return sum_ / static_cast<double>(count_);
 }
 
 double Accumulator::AvgDeviation() const {
@@ -41,24 +72,31 @@ double Accumulator::StdDev() const {
 }
 
 double Accumulator::Min() const {
-  TCF_CHECK(!samples_.empty());
-  return *std::min_element(samples_.begin(), samples_.end());
+  TCF_CHECK(count_ > 0);
+  return min_;
 }
 
 double Accumulator::Max() const {
-  TCF_CHECK(!samples_.empty());
-  return *std::max_element(samples_.begin(), samples_.end());
+  TCF_CHECK(count_ > 0);
+  return max_;
 }
 
 double Accumulator::Percentile(double p) const {
   TCF_CHECK(!samples_.empty());
   TCF_CHECK(p >= 0.0 && p <= 100.0);
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  if (p == 0.0) return sorted.front();
-  const size_t rank = static_cast<size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
-  return sorted[rank - 1];
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  // Nearest-rank, hardened at both ends: ceil(p/100 * n) rounds p = 0 and
+  // denormal-small p down to rank 0 (ceil(0) == 0, and 1e-9/100 * n can
+  // underflow to 0.0), and p = 100 can land at n + epsilon-of-one after
+  // the division — clamp instead of trusting the floating point.
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted_.size())));
+  rank = std::min(std::max<size_t>(rank, 1), sorted_.size());
+  return sorted_[rank - 1];
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)

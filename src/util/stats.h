@@ -4,39 +4,83 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace tcf {
 
-/// Collects samples and computes the summary statistics used in Tables 1-3.
-/// Stores the samples (experiment scales are tiny) so the mean absolute
-/// deviation can be computed exactly rather than approximated online.
+/// Collects samples and computes the summary statistics used in Tables 1-3
+/// and the service layer's latency percentiles.
+///
+/// Count, sum, mean, min, and max are maintained as exact running values
+/// over *every* sample ever added. The per-sample storage (which the
+/// order statistics — percentiles, deviations — are computed from) is
+/// unbounded by default, matching the tiny experiment scales of the paper
+/// tables; a long-running service caps it with `max_samples`, which turns
+/// the storage into a uniform reservoir (Vitter's algorithm R) so memory
+/// stays bounded while percentiles remain an unbiased estimate over the
+/// whole stream.
+///
+/// Percentile() keeps the sorted view cached between calls: a stats
+/// snapshot reading p50/p95/p99 sorts once, not three times, and repeated
+/// snapshots of an unchanged accumulator sort not at all.
+///
+/// Not internally synchronized — and note that the sorted-view cache
+/// makes even const Percentile() a logical write, so concurrent readers
+/// must each hold their own copy (the service layer's Stats() snapshots
+/// are value copies for exactly this reason).
 class Accumulator {
  public:
+  /// Unbounded per-sample storage.
+  Accumulator() = default;
+  /// `max_samples` bounds the per-sample storage (0 = keep everything).
+  explicit Accumulator(size_t max_samples) : max_samples_(max_samples) {}
+
   void Add(double sample);
   void AddAll(const std::vector<double>& samples);
 
-  size_t count() const { return samples_.size(); }
-  bool empty() const { return samples_.empty(); }
+  /// Total samples ever added (not the stored-sample count).
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
 
-  double Sum() const;
+  double Sum() const { return sum_; }
   double Mean() const;
-  /// Mean absolute deviation from the mean — the paper's "average deviation".
+  /// Mean absolute deviation from the mean — the paper's "average
+  /// deviation". Computed over the stored samples (exact when unbounded).
   double AvgDeviation() const;
-  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2
+  /// stored samples.
   double StdDev() const;
   double Min() const;
   double Max() const;
   /// Nearest-rank percentile over the stored samples, p in [0, 100].
   /// Percentile(50) is the median, Percentile(99) the p99 latency the
-  /// service layer reports. Sorts a copy — fine at experiment scales.
+  /// service layer reports. The rank is clamped to [1, n], so p == 0,
+  /// denormal-small p, and p == 100 all stay in range.
   double Percentile(double p) const;
 
+  /// The stored samples: everything when unbounded, a uniform reservoir
+  /// of the stream when capped.
   const std::vector<double>& samples() const { return samples_; }
+  /// The storage bound (0 = unbounded).
+  size_t max_samples() const { return max_samples_; }
 
  private:
+  void Store(double sample);
+
+  size_t max_samples_ = 0;
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  uint64_t reservoir_state_ = 0x853c49e6748fea9bULL;  // splitmix64 state
   std::vector<double> samples_;
+
+  /// Lazily sorted copy of samples_, shared by consecutive Percentile
+  /// calls; invalidated by Add.
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 /// Fixed-width "paper table" pretty printer used by the bench harness so all

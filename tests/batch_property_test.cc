@@ -137,6 +137,12 @@ TEST_P(BatchPropertySweep, ParallelBatchMatchesSequentialAndOracle) {
                   }
                   return nontrivial;
                 }());
+      // Every distinct pair consults the cross-batch interned-plan cache
+      // exactly once per batch; this database is fresh, so this first
+      // batch can only miss.
+      EXPECT_EQ(s.interned_plan_hits + s.interned_plan_misses,
+                s.plan_memo_misses);
+      EXPECT_EQ(s.interned_plan_hits, 0u);
 
       if (!reference.has_value()) {
         reference = result;
@@ -160,6 +166,8 @@ TEST_P(BatchPropertySweep, ParallelBatchMatchesSequentialAndOracle) {
       EXPECT_EQ(s.subqueries_executed, reference->stats.subqueries_executed);
       EXPECT_EQ(s.plan_memo_hits, reference->stats.plan_memo_hits);
       EXPECT_EQ(s.plan_memo_misses, reference->stats.plan_memo_misses);
+      EXPECT_EQ(s.interned_plan_misses,
+                reference->stats.interned_plan_misses);
     }
   }
 }

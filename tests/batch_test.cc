@@ -338,6 +338,86 @@ TEST(BatchPlanCache, ConcurrentBatchesRacingOnTinyCache) {
   EXPECT_LE(cache_stats.entries, 1u);
 }
 
+TEST(BatchPlanCache, SecondIdenticalBatchHitsInternedPlans) {
+  // The cross-batch interned-plan cache: plans are keyed by (from, to)
+  // node pair in skeleton-relative form, so they outlive the first
+  // batch's spec-table sealing. A repeated batch must hit ≥90% (in fact
+  // 100% here: every distinct pair was interned by batch one), return
+  // identical answers, and perform ZERO skeleton-cache lookups.
+  PlanCacheFixture fx;
+  const std::vector<Query> queries = fx.MakeQueries(200);
+
+  DsaDatabase db(&*fx.frag);
+  BatchExecutor executor(&db);
+
+  const BatchResult first = executor.Execute(queries);
+  EXPECT_EQ(first.stats.interned_plan_hits, 0u);  // cold cache
+  EXPECT_EQ(first.stats.interned_plan_misses,
+            first.stats.plan_memo_misses);  // one build per distinct pair
+
+  const BatchResult second = executor.Execute(queries);
+  ExpectSameAnswers(second, first);
+  EXPECT_EQ(second.stats.interned_plan_misses, 0u);
+  EXPECT_EQ(second.stats.interned_plan_hits,
+            second.stats.plan_memo_misses);
+  EXPECT_GE(second.stats.InternedPlanHitRate(), 0.9);
+  // A warm plan instantiates without touching the skeleton cache.
+  EXPECT_EQ(second.stats.plan_cache_hits, 0u);
+  EXPECT_EQ(second.stats.plan_cache_misses, 0u);
+  // Dedup within the batch is unaffected by where the plans came from.
+  EXPECT_EQ(second.stats.subqueries_requested,
+            first.stats.subqueries_requested);
+  EXPECT_EQ(second.stats.subqueries_executed,
+            first.stats.subqueries_executed);
+
+  // The cache's own accounting agrees with the per-batch counters.
+  const LruCacheStats plan_stats = db.plan_cache()->PlanStats();
+  EXPECT_EQ(plan_stats.hits,
+            first.stats.interned_plan_hits + second.stats.interned_plan_hits);
+  EXPECT_EQ(plan_stats.misses, first.stats.interned_plan_misses +
+                                   second.stats.interned_plan_misses);
+}
+
+TEST(BatchPlanCache, SingleQueriesWarmTheInternedPlanCacheForBatches) {
+  // Plans interned by the single-query path are hit by a later batch and
+  // vice versa — the cache sits under both entry points.
+  PlanCacheFixture fx;
+  const std::vector<Query> queries = fx.MakeQueries(50);
+
+  DsaDatabase db(&*fx.frag);
+  for (const Query& q : queries) db.ShortestPath(q.from, q.to);
+
+  BatchExecutor executor(&db);
+  const BatchResult result = executor.Execute(queries);
+  EXPECT_EQ(result.stats.interned_plan_misses, 0u);
+  EXPECT_GE(result.stats.InternedPlanHitRate(), 0.9);
+}
+
+TEST(BatchPlanCache, DisabledInternedPlanCacheStillAnswersCorrectly) {
+  PlanCacheFixture fx;
+  const std::vector<Query> queries = fx.MakeQueries(200);
+
+  DsaDatabase reference_db(&*fx.frag);
+  const BatchResult want = BatchExecutor(&reference_db).Execute(queries);
+
+  DsaOptions opts;
+  opts.interned_plan_cache_capacity = 0;  // skeleton cache only
+  DsaDatabase db(&*fx.frag, opts);
+  BatchExecutor executor(&db);
+  const BatchResult first = executor.Execute(queries);
+  const BatchResult second = executor.Execute(queries);
+  ExpectSameAnswers(first, want);
+  ExpectSameAnswers(second, want);
+  // Nothing survives the batch boundary: the repeat batch rebuilds every
+  // distinct pair (counted as misses) and re-consults the skeleton cache.
+  EXPECT_EQ(second.stats.interned_plan_hits, 0u);
+  EXPECT_EQ(second.stats.interned_plan_misses,
+            second.stats.plan_memo_misses);
+  EXPECT_GT(second.stats.plan_cache_hits, 0u);
+  EXPECT_EQ(db.plan_cache()->PlanStats().hits, 0u);
+  EXPECT_EQ(db.plan_cache()->PlanStats().misses, 0u);
+}
+
 TEST(BatchExecutor, DisconnectedPairsStayUnconnected) {
   GraphBuilder b(4);
   b.AddSymmetricEdge(0, 1);

@@ -239,6 +239,120 @@ TEST(Concurrency, ServiceHammerManyProducers) {
   EXPECT_LE(stats.batch_fill.Max(), static_cast<double>(opts.max_batch));
 }
 
+TEST(Concurrency, ShardedAdmissionHammerAcrossShardCounts) {
+  // The sharded admission path under maximum contention: 16 submitter
+  // threads (blocking and TrySubmit mixed) against shard counts {1, 4, 8}.
+  // Every future must resolve with the precomputed answer and the
+  // ServiceStats totals must be scheduling-independent — identical
+  // submitted/completed at every shard count, rejected == observed
+  // retries. Runs under TSan in CI, which is what makes the shard-striped
+  // locking (shard mutexes, doorbell, drain protocol) a checked property.
+  Fixture fx(107, /*cyclic=*/true);
+  const Expected expected = Precompute(*fx.db, 100, 14);
+  constexpr size_t kSubmitters = 16;
+
+  for (size_t shards : {1, 4, 8}) {
+    ServiceOptions opts;
+    opts.max_batch = 16;
+    opts.max_wait = std::chrono::microseconds(200);
+    opts.queue_capacity = 32;  // small: backpressure on every stripe
+    opts.admission_shards = shards;
+    QueryService service(fx.db.get(), opts);
+
+    std::atomic<size_t> mismatches{0};
+    std::atomic<size_t> retried{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kSubmitters);
+    for (size_t t = 0; t < kSubmitters; ++t) {
+      threads.emplace_back([&, t]() {
+        for (size_t i = 0; i < expected.queries.size(); ++i) {
+          const size_t j = (i + t * 19) % expected.queries.size();
+          const Query& q = expected.queries[j];
+          std::future<Weight> future;
+          if (t % 2 == 0) {
+            future = service.SubmitShortestPath(q.from, q.to);
+          } else {
+            for (;;) {
+              auto maybe = service.TrySubmit(q.from, q.to);
+              if (maybe.has_value()) {
+                future = std::move(*maybe);
+                break;
+              }
+              retried.fetch_add(1, std::memory_order_relaxed);
+              std::this_thread::yield();
+            }
+          }
+          if (future.get() != expected.costs[j]) ++mismatches;
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    service.Shutdown();
+
+    EXPECT_EQ(mismatches.load(), 0u) << "shards=" << shards;
+    const ServiceStats stats = service.Stats();
+    EXPECT_EQ(stats.completed, kSubmitters * expected.queries.size())
+        << "shards=" << shards;
+    EXPECT_EQ(stats.submitted, stats.completed) << "shards=" << shards;
+    EXPECT_EQ(stats.rejected, retried.load()) << "shards=" << shards;
+    EXPECT_GT(stats.batches, 0u) << "shards=" << shards;
+    EXPECT_LE(stats.batch_fill.Max(), static_cast<double>(opts.max_batch))
+        << "shards=" << shards;
+  }
+}
+
+TEST(Concurrency, CrossBatchPlanCacheUnderConcurrentBatches) {
+  // Concurrent batches racing on a COLD cross-batch interned-plan cache:
+  // duplicate builds of the same (from, to) plan are allowed (the loser's
+  // plan is dropped), but every answer must be right and the accounting
+  // must stay consistent: across all batches, interned-plan hits + misses
+  // equal the distinct pairs planned per batch summed, and the cache's
+  // cumulative counters equal the per-batch sums.
+  Fixture fx(108, /*cyclic=*/true);
+  const Expected expected = Precompute(*fx.db, 80, 15);
+
+  // A fresh database for the hammer: Precompute's single queries warmed
+  // fx.db's plan cache, and this test accounts for every lookup.
+  DsaOptions dopts;
+  dopts.num_threads = 4;
+  DsaDatabase hammer_db(fx.frag.get(), dopts);
+  BatchExecutor executor(&hammer_db);
+
+  std::vector<Query> batch = expected.queries;
+  constexpr size_t kRounds = 3;
+  std::vector<BatchStats> stats(kThreads * kRounds);
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (size_t round = 0; round < kRounds; ++round) {
+        const BatchResult result = executor.Execute(batch);
+        stats[t * kRounds + round] = result.stats;
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (result.answers[i].answer.cost != expected.costs[i]) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  size_t batch_hits = 0, batch_misses = 0;
+  for (const BatchStats& s : stats) {
+    EXPECT_EQ(s.interned_plan_hits + s.interned_plan_misses,
+              s.plan_memo_misses);
+    batch_hits += s.interned_plan_hits;
+    batch_misses += s.interned_plan_misses;
+  }
+  const LruCacheStats cache_stats = hammer_db.plan_cache()->PlanStats();
+  EXPECT_EQ(cache_stats.hits, batch_hits);
+  EXPECT_EQ(cache_stats.misses, batch_misses);
+  // After the first full round every pair is interned; most lookups hit.
+  EXPECT_GT(batch_hits, batch_misses);
+}
+
 TEST(Concurrency, ServiceShutdownRacesSubmitters) {
   // Shutdown while producers are still submitting: every future must
   // either carry the correct answer (admitted before the stop flag) or

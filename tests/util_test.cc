@@ -182,6 +182,74 @@ TEST(Accumulator, SampleStdDev) {
   EXPECT_NEAR(acc.StdDev(), 2.138, 1e-3);
 }
 
+TEST(Accumulator, PercentileNearestRank) {
+  Accumulator acc;
+  acc.AddAll({30.0, 10.0, 50.0, 20.0, 40.0});  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(acc.Percentile(50), 30.0);  // rank ceil(2.5) = 3
+  EXPECT_DOUBLE_EQ(acc.Percentile(20), 10.0);  // rank ceil(1.0) = 1
+  EXPECT_DOUBLE_EQ(acc.Percentile(90), 50.0);  // rank ceil(4.5) = 5
+}
+
+TEST(Accumulator, PercentileBoundaries) {
+  // The rank-math hardening: ceil(p/100 * n) yields rank 0 for p == 0 and
+  // can yield 0 for denormal-small p (1e-9/100 * n underflows the ceil)
+  // or n + 1-epsilon for p == 100 — all must clamp into [1, n].
+  Accumulator acc;
+  acc.AddAll({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(acc.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(1e-9), 1.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(1e-300), 1.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(100.0), 4.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(99.999999), 4.0);
+
+  Accumulator one;
+  one.Add(7.5);
+  EXPECT_DOUBLE_EQ(one.Percentile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(one.Percentile(1e-9), 7.5);
+  EXPECT_DOUBLE_EQ(one.Percentile(50.0), 7.5);
+  EXPECT_DOUBLE_EQ(one.Percentile(100.0), 7.5);
+}
+
+TEST(Accumulator, PercentileCacheInvalidatedByAdd) {
+  // The sorted view is cached between Percentile calls (a p50/p95/p99
+  // snapshot sorts once); Add must invalidate it.
+  Accumulator acc;
+  acc.AddAll({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(acc.Percentile(100), 20.0);
+  acc.Add(30.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(100), 30.0);
+  acc.Add(5.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(0), 5.0);
+}
+
+TEST(Accumulator, ReservoirCapBoundsStorageButNotTotals) {
+  Accumulator acc(/*max_samples=*/64);
+  for (int i = 1; i <= 10000; ++i) acc.Add(static_cast<double>(i));
+  EXPECT_EQ(acc.count(), 10000u);
+  EXPECT_EQ(acc.samples().size(), 64u);  // bounded storage
+  // Count/sum/mean/min/max stay exact over the whole stream.
+  EXPECT_DOUBLE_EQ(acc.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.Max(), 10000.0);
+  EXPECT_DOUBLE_EQ(acc.Sum(), 10000.0 * 10001.0 / 2.0);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 10001.0 / 2.0);
+  // The reservoir is a uniform sample of [1, 10000], so its median is a
+  // (loose) estimate of the stream median.
+  EXPECT_GT(acc.Percentile(50), 1000.0);
+  EXPECT_LT(acc.Percentile(50), 9000.0);
+  for (double s : acc.samples()) {
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, 10000.0);
+  }
+}
+
+TEST(Accumulator, UncappedKeepsEverySample) {
+  Accumulator acc;
+  for (int i = 0; i < 1000; ++i) acc.Add(static_cast<double>(i));
+  EXPECT_EQ(acc.samples().size(), 1000u);
+  EXPECT_EQ(acc.max_samples(), 0u);
+  EXPECT_DOUBLE_EQ(acc.Percentile(100), 999.0);
+}
+
 TEST(TablePrinter, AlignsColumns) {
   TablePrinter t({"algo", "F"});
   t.AddRow({"center-based", "791.8"});
@@ -486,6 +554,12 @@ TEST(ShardedTable, ForEachVisitsEveryEntry) {
   int sum = 0;
   table.ForEach([&](int& value) { sum += value; });
   EXPECT_EQ(sum, 19 * 20 / 2);
+
+  // Const traversal sees the same entries without granting mutation.
+  const auto& const_table = table;
+  int const_sum = 0;
+  const_table.ForEach([&](const int& value) { const_sum += value; });
+  EXPECT_EQ(const_sum, sum);
 }
 
 TEST(ShardedTable, ConcurrentInternIsConsistent) {

@@ -2,12 +2,15 @@
 """CI perf-regression gate over the bench JSON artifacts.
 
 Compares the current run of a bench (``--json`` output of
-``bench/batch_throughput`` or ``bench/service_latency``) against the
-previous run's baseline restored from the actions cache. Only throughput
-series — metric keys ending in ``_qps`` — are gated: the job fails when any
-of them regresses by more than ``--threshold`` (default 35%, generous
-because shared CI runners are noisy). Non-throughput metrics and
-improvements are reported but never fail the job.
+``bench/batch_throughput`` or ``bench/service_latency``) against a rolling
+baseline restored from the actions cache. ``--baseline`` may name either a
+single JSON file (one prior run) or a *directory of prior runs*: in the
+directory form the gate uses the per-metric **median of the last k runs**
+(``--window``, default 5), which absorbs one noisy CI run without letting a
+real regression hide behind it. Only throughput series — metric keys ending
+in ``_qps`` — are gated: the job fails when any of them regresses by more
+than ``--threshold`` (default 25%) below the rolling median. Non-throughput
+metrics and improvements are reported but never fail the job.
 
 A missing or unreadable baseline soft-warns and exits 0 (first run on a
 branch, cache eviction). When ``GITHUB_STEP_SUMMARY`` is set, a Markdown
@@ -15,12 +18,14 @@ comparison table is appended to the job summary.
 
 Usage:
   check_bench_regression.py --baseline prev.json --current cur.json \
-      [--threshold 0.35]
+      [--threshold 0.25] [--window 5]
+  check_bench_regression.py --baseline baseline-history-dir/ --current cur.json
 """
 
 import argparse
 import json
 import os
+import statistics
 import sys
 
 
@@ -32,6 +37,33 @@ def load(path):
     return doc
 
 
+def load_baselines(path, window):
+    """Returns a list of baseline docs: [one] for a file, the newest
+    `window` runs (by filename order, which the CI writer keeps
+    monotonic) for a directory. A corrupt run file (e.g. truncated by a
+    cancelled CI job) is warned about and skipped, so one bad file does
+    not disable the gate while good history remains."""
+    if os.path.isdir(path):
+        names = sorted(n for n in os.listdir(path) if n.endswith(".json"))
+        baselines = []
+        for name in names[-window:]:
+            try:
+                baselines.append(load(os.path.join(path, name)))
+            except (OSError, ValueError) as err:
+                print(f"::warning::skipping unreadable baseline run "
+                      f"{name}: {err}")
+        if not baselines:
+            raise ValueError(f"{path}: no usable baseline runs recorded yet")
+        return baselines
+    return [load(path)]
+
+
+def rolling_median(baselines, key):
+    """Median of `key` over the baseline runs that recorded it."""
+    values = [b["metrics"][key] for b in baselines if key in b["metrics"]]
+    return statistics.median(values) if values else None
+
+
 def gated(key):
     return key.endswith("_qps")
 
@@ -39,19 +71,23 @@ def gated(key):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
-                        help="previous run's JSON (may be absent)")
+                        help="previous run's JSON, or a directory of prior "
+                             "runs (may be absent)")
     parser.add_argument("--current", required=True,
                         help="this run's JSON")
-    parser.add_argument("--threshold", type=float, default=0.35,
-                        help="max tolerated fractional qps drop "
-                             "(0.35 = fail below 65%% of baseline)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated fractional qps drop below the "
+                             "rolling median (0.25 = fail below 75%% of it)")
+    parser.add_argument("--window", type=int, default=5,
+                        help="max prior runs folded into the rolling median "
+                             "(directory baselines only)")
     args = parser.parse_args()
 
     current = load(args.current)
     name = current.get("benchmark", args.current)
 
     try:
-        baseline = load(args.baseline)
+        baselines = load_baselines(args.baseline, max(1, args.window))
     except (OSError, ValueError) as err:
         print(f"::warning::{name}: no usable baseline ({err}); "
               "recording current run as the new baseline")
@@ -60,7 +96,7 @@ def main():
     rows = []
     failures = []
     for key, cur in sorted(current["metrics"].items()):
-        base = baseline["metrics"].get(key)
+        base = rolling_median(baselines, key)
         if base is None:
             rows.append((key, None, cur, "new"))
             continue
@@ -74,7 +110,7 @@ def main():
         rows.append((key, base, cur, f"{change:+.1%} {status}"))
 
     width = max(len(r[0]) for r in rows) if rows else 10
-    print(f"{name}: current vs baseline "
+    print(f"{name}: current vs rolling median of {len(baselines)} run(s) "
           f"(gate: *_qps within {args.threshold:.0%})")
     for key, base, cur, status in rows:
         base_s = "-" if base is None else f"{base:12.1f}"
@@ -83,7 +119,8 @@ def main():
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
         with open(summary_path, "a", encoding="utf-8") as f:
-            f.write(f"### {name} perf gate\n\n")
+            f.write(f"### {name} perf gate "
+                    f"(median of {len(baselines)} run(s))\n\n")
             f.write("| metric | baseline | current | change |\n")
             f.write("|---|---|---|---|\n")
             for key, base, cur, status in rows:
@@ -93,8 +130,8 @@ def main():
 
     for key, base, cur, change in failures:
         print(f"::error::{name}: {key} regressed {change:.1%} "
-              f"({base:.1f} -> {cur:.1f} q/s, tolerance "
-              f"{args.threshold:.0%})")
+              f"({base:.1f} -> {cur:.1f} q/s vs the rolling median, "
+              f"tolerance {args.threshold:.0%})")
     return 1 if failures else 0
 
 
