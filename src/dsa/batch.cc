@@ -19,6 +19,7 @@ BatchResult BatchExecutor::Execute(const std::vector<Query>& queries) const {
   BatchResult result;
   result.answers.resize(queries.size());
   result.stats.num_queries = queries.size();
+  result.epoch = db_->epoch();
   WallTimer batch_timer;
 
   // Validate up front (cheap next to planning), then plan the whole batch

@@ -127,6 +127,9 @@ struct BatchResult {
   /// Aggregated execution report over the whole batch (site records from
   /// the shared phase 1; assembly totals summed over queries).
   ExecutionReport report;
+  /// Maintenance epoch of the database that answered the batch (0 when the
+  /// database was built directly rather than through MaintainedDatabase).
+  uint64_t epoch = 0;
 };
 
 /// Executes query batches against one DsaDatabase.

@@ -145,6 +145,59 @@ InternedPlan BuildInternedPlan(const Fragmentation& frag, NodeId from,
   return plan;
 }
 
+namespace {
+
+bool ChainTouchesDirty(const FragmentChain& chain,
+                       const std::vector<bool>& dirty_fragment) {
+  for (FragmentId f : chain) {
+    if (f < dirty_fragment.size() && dirty_fragment[f]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ChainPlanCache::EpochCarry ChainPlanCache::NextEpoch(
+    const std::vector<bool>& dirty_fragment,
+    const std::vector<bool>& endpoint_changed, uint64_t new_epoch) const {
+  EpochCarry carry;
+  carry.cache =
+      std::make_unique<ChainPlanCache>(cache_.capacity(), plan_capacity());
+  carry.cache->epoch_ = new_epoch;
+
+  cache_.ForEachOldestFirst(
+      [&](uint64_t key, const std::shared_ptr<const PlanSkeleton>& skeleton) {
+        for (const FragmentChain& chain : skeleton->chains) {
+          if (ChainTouchesDirty(chain, dirty_fragment)) {
+            ++carry.skeletons_dropped;
+            return;
+          }
+        }
+        ++carry.skeletons_kept;
+        carry.cache->cache_.Put(key, skeleton);
+      });
+
+  if (plan_cache_ != nullptr) {
+    plan_cache_->ForEachOldestFirst(
+        [&](uint64_t key, const std::shared_ptr<const InternedPlan>& plan) {
+          bool valid = plan->from >= endpoint_changed.size() ||
+                       !endpoint_changed[plan->from];
+          valid = valid && (plan->to >= endpoint_changed.size() ||
+                            !endpoint_changed[plan->to]);
+          for (size_t i = 0; valid && i < plan->num_chains(); ++i) {
+            valid = !ChainTouchesDirty(plan->chain(i), dirty_fragment);
+          }
+          if (!valid) {
+            ++carry.plans_dropped;
+            return;
+          }
+          ++carry.plans_kept;
+          carry.cache->plan_cache_->Put(key, plan);
+        });
+  }
+  return carry;
+}
+
 std::shared_ptr<const InternedPlan> ChainPlanCache::PlanFor(
     const Fragmentation& frag, NodeId from, NodeId to, size_t max_chains,
     bool* was_hit_out) {

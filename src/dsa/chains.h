@@ -148,9 +148,15 @@ struct InternedPlan {
 /// N^2 node-pair keys, so their LRU bound does real work: it keeps the
 /// hot-pair plans of repeated traffic resident across batch boundaries.
 ///
-/// One cache serves one (Fragmentation, max_chains) combination: both are
-/// fixed per DsaDatabase, which owns the cache. All methods may be called
-/// concurrently.
+/// One cache serves one (Fragmentation, max_chains) combination — and,
+/// under live updates, one *maintenance epoch* of it. Epoch invalidation
+/// is by version succession, never in place: each cache instance is
+/// stamped with the epoch it serves, and a maintenance epoch builds the
+/// next version with NextEpoch(), carrying over exactly the entries the
+/// new fragmentation cannot have changed. The old instance keeps serving
+/// in-flight queries pinned to the old snapshot unmodified — neither
+/// epoch's readers can observe (or poison) the other's entries. All
+/// methods may be called concurrently.
 class ChainPlanCache {
  public:
   static constexpr size_t kDefaultPlanCapacity = 1 << 16;
@@ -190,6 +196,38 @@ class ChainPlanCache {
                                               size_t max_chains,
                                               bool* was_hit_out = nullptr);
 
+  /// Carry-over accounting of one NextEpoch() call, for the maintenance
+  /// meters and the cache-invalidation-precision tests.
+  struct EpochCarry {
+    std::unique_ptr<ChainPlanCache> cache;
+    size_t skeletons_kept = 0;
+    size_t skeletons_dropped = 0;
+    size_t plans_kept = 0;
+    size_t plans_dropped = 0;
+  };
+
+  /// Builds this cache's successor version for the epoch `new_epoch`
+  /// snapshot. `dirty_fragment[f]` marks fragments whose node set changed
+  /// this epoch; `endpoint_changed[v]` marks nodes whose fragment
+  /// membership changed. A skeleton survives iff none of its chains
+  /// touches a dirty fragment; an interned plan additionally requires
+  /// both its endpoints' memberships unchanged. The rule is exact under
+  /// the caller's precondition that the epoch kept fragment ids and the
+  /// fragmentation-graph adjacency intact (chains are paths in the
+  /// adjacency graph, so no *new* chain can appear outside dirty
+  /// fragments; a changed disconnection set always has a dirty endpoint
+  /// fragment, and both endpoints of every DS crossing are on the chain).
+  /// When adjacency or the fragment count changed, start cold instead
+  /// (fresh ChainPlanCache). Recency and capacities carry over; counters
+  /// start at zero — the new version's hit rates are its own.
+  EpochCarry NextEpoch(const std::vector<bool>& dirty_fragment,
+                       const std::vector<bool>& endpoint_changed,
+                       uint64_t new_epoch) const;
+
+  /// The maintenance epoch this cache version serves (0 for a fresh
+  /// database).
+  uint64_t epoch() const { return epoch_; }
+
   /// Cumulative skeleton-cache counters and resident entry count.
   LruCacheStats Stats() const { return cache_.Stats(); }
   /// Cumulative interned-plan-cache counters (all zero when disabled).
@@ -206,6 +244,7 @@ class ChainPlanCache {
   }
 
  private:
+  uint64_t epoch_ = 0;
   LruCache<uint64_t, PlanSkeleton> cache_;
   /// Interned plans by PairKey(from, to); null when plan_capacity == 0.
   std::unique_ptr<LruCache<uint64_t, InternedPlan, PairKeyHash>> plan_cache_;

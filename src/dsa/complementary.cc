@@ -1,6 +1,7 @@
 #include "dsa/complementary.h"
 
 #include <unordered_map>
+#include <unordered_set>
 
 #include "graph/algorithms.h"
 
@@ -41,6 +42,142 @@ ComplementaryInfo PrecomputeComplementary(const Fragmentation& frag) {
     info.total_tuples += rel.size();
   }
   return info;
+}
+
+ComplementaryRefresh RefreshComplementary(const Fragmentation& frag,
+                                          const Fragmentation& old_frag,
+                                          const ComplementaryInfo& old,
+                                          const ComplementaryDelta& delta) {
+  TCF_CHECK(frag.NumFragments() == old_frag.NumFragments());
+  const Graph& g = frag.graph();
+  const size_t num_frags = frag.NumFragments();
+
+  ComplementaryRefresh out;
+  ComplementaryInfo& info = out.info;
+  info.shortcuts.resize(num_frags);
+
+  // Rule (a): a changed border-node set invalidates the fragment's whole
+  // tuple schema — every one of its (current) border nodes is dirty. This
+  // also covers nodes that became borders this epoch: they have no prior
+  // search to reuse, and their appearance changed the set.
+  std::vector<char> border_set_changed(num_frags, 0);
+  std::vector<char> dirty(g.NumNodes(), 0);
+  for (FragmentId f = 0; f < num_frags; ++f) {
+    if (frag.BorderNodes(f) != old_frag.BorderNodes(f)) {
+      border_set_changed[f] = 1;
+      for (NodeId x : frag.BorderNodes(f)) dirty[x] = 1;
+    }
+  }
+
+  // Rule (b): tightened edges can only break stored witness routes. A
+  // source whose every witness avoids them keeps all its old distances.
+  if (!delta.tightened.empty()) {
+    std::unordered_set<uint64_t> tightened;
+    tightened.reserve(delta.tightened.size());
+    for (const auto& [u, v] : delta.tightened) {
+      tightened.insert(PairKey(u, v));
+    }
+    for (const auto& [key, route] : old.witness) {
+      const NodeId x = static_cast<NodeId>(key >> 32);
+      if (x >= dirty.size() || dirty[x]) continue;
+      for (size_t i = 0; i + 1 < route.size(); ++i) {
+        if (tightened.count(PairKey(route[i], route[i + 1])) > 0) {
+          dirty[x] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  // Rule (c): for each relaxed edge e = (u, v, w), exact new-graph
+  // distances d(x, u) (backward search) and d(v, y) (forward search) let
+  // us probe every still-clean co-border pair for an improvement through
+  // e. Fragments with a changed border set are skipped — their borders
+  // are all dirty already, and their old relation's pair schema is stale.
+  for (const Edge& e : delta.relaxed) {
+    const ShortestPaths to_u = Dijkstra(g, e.src, Direction::kBackward);
+    const ShortestPaths from_v = Dijkstra(g, e.dst, Direction::kForward);
+    info.searches += 2;
+    for (FragmentId f = 0; f < num_frags; ++f) {
+      if (border_set_changed[f]) continue;
+      const std::vector<NodeId>& borders = frag.BorderNodes(f);
+      const Relation& old_rel = old.shortcuts[f];
+      for (NodeId x : borders) {
+        if (dirty[x] || to_u.distance[x] == kInfinity) continue;
+        for (NodeId y : borders) {
+          if (y == x || from_v.distance[y] == kInfinity) continue;
+          if (to_u.distance[x] + e.weight + from_v.distance[y] <
+              old_rel.BestCost(x, y)) {
+            dirty[x] = 1;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Re-run the whole-graph search of exactly the dirty border nodes.
+  std::unordered_map<NodeId, ShortestPaths> fresh;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (!frag.IsBorderNode(v)) continue;
+    if (dirty[v]) {
+      fresh.emplace(v, Dijkstra(g, v));
+      ++info.searches;
+      ++out.dirty_border_nodes;
+    } else {
+      ++out.reused_border_nodes;
+    }
+  }
+
+  for (FragmentId f = 0; f < num_frags; ++f) {
+    const std::vector<NodeId>& borders = frag.BorderNodes(f);
+    bool any_dirty = border_set_changed[f] != 0;
+    for (NodeId x : borders) any_dirty = any_dirty || dirty[x] != 0;
+
+    if (!any_dirty) {
+      // Untouched schema, untouched distances: the old relation (and its
+      // witnesses) carry over verbatim.
+      info.shortcuts[f] = old.shortcuts[f];
+      for (const PathTuple& t : info.shortcuts[f].tuples()) {
+        auto it = old.witness.find(PairKey(t.src, t.dst));
+        if (it != old.witness.end()) {
+          info.witness.emplace(it->first, it->second);
+        }
+      }
+      info.total_tuples += info.shortcuts[f].size();
+      ++out.reused_fragments;
+      continue;
+    }
+
+    ++out.dirty_fragments;
+    Relation& rel = info.shortcuts[f];
+    for (NodeId x : borders) {
+      if (dirty[x]) {
+        const ShortestPaths& sp = fresh.at(x);
+        for (NodeId y : borders) {
+          if (x == y || sp.distance[y] == kInfinity) continue;
+          rel.Add(x, y, sp.distance[y]);
+          info.witness.emplace(PairKey(x, y), sp.PathTo(y));
+        }
+      } else {
+        // A clean source inside a dirty fragment (possible only when the
+        // border set is unchanged): its tuples are provably unchanged.
+        for (NodeId y : borders) {
+          if (x == y) continue;
+          const Weight c = old.shortcuts[f].BestCost(x, y);
+          if (c == kInfinity) continue;
+          rel.Add(x, y, c);
+          auto it = old.witness.find(PairKey(x, y));
+          if (it != old.witness.end()) {
+            info.witness.emplace(it->first, it->second);
+          }
+        }
+      }
+    }
+    rel.SortCanonical();
+    info.total_tuples += rel.size();
+  }
+  return out;
 }
 
 }  // namespace tcf

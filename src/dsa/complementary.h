@@ -54,4 +54,48 @@ struct ComplementaryInfo {
 /// distance witness).
 ComplementaryInfo PrecomputeComplementary(const Fragmentation& frag);
 
+/// One maintenance epoch's weight-level delta, classified by how it can
+/// move global shortest distances:
+///   - `relaxed`: edges inserted or re-weighted DOWN (new weight) — these
+///     can only create shorter paths;
+///   - `tightened`: ordered endpoint pairs whose edges were deleted or
+///     re-weighted UP — these can only break paths that used them.
+struct ComplementaryDelta {
+  std::vector<Edge> relaxed;
+  std::vector<std::pair<NodeId, NodeId>> tightened;
+};
+
+/// RefreshComplementary's result: the refreshed info plus the incremental
+/// accounting (how much of the paper's pre-processing cost the epoch
+/// actually paid versus reused).
+struct ComplementaryRefresh {
+  ComplementaryInfo info;
+  size_t dirty_border_nodes = 0;   // whole-graph searches re-run
+  size_t reused_border_nodes = 0;  // border nodes whose tuples carried over
+  size_t dirty_fragments = 0;      // shortcut relations rebuilt
+  size_t reused_fragments = 0;     // shortcut relations copied verbatim
+};
+
+/// Incrementally refreshes `old` for the post-epoch fragmentation `frag`,
+/// re-running the whole-graph search of exactly the border nodes whose
+/// shortcut tuples can have changed. A border node x is dirty iff
+///   - its fragment's border-node set changed (its tuple *schema* moved),
+///   - a stored witness route from x traverses a tightened edge (a path
+///     that avoids every tightened edge keeps its old cost, so an
+///     untouched witness proves x's distances cannot have grown), or
+///   - some relaxed edge (u, v, w) improves a pair: two auxiliary searches
+///     per relaxed edge give the exact new-graph distances d(·, u) and
+///     d(v, ·), and d(x,u) + w + d(v,y) < old d(x,y) for a co-border y
+///     (any genuinely shorter new path decomposes at its last modified
+///     edge, so the probe cannot miss an improvement).
+/// Fragments with no dirty border and an unchanged border set keep their
+/// shortcut relation and witnesses verbatim. Exact — tests hold the
+/// result to the full-recompute oracle. Requires `frag` and `old_frag` to
+/// have the same fragment count with aligned ids (the caller falls back
+/// to PrecomputeComplementary when compaction renumbered fragments).
+ComplementaryRefresh RefreshComplementary(const Fragmentation& frag,
+                                          const Fragmentation& old_frag,
+                                          const ComplementaryInfo& old,
+                                          const ComplementaryDelta& delta);
+
 }  // namespace tcf

@@ -1,6 +1,7 @@
 #include "dsa/maintenance.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "graph/builder.h"
 
@@ -8,15 +9,30 @@ namespace tcf {
 
 namespace {
 
-Graph RebuildGraph(const Graph& old, const std::vector<Edge>& edges) {
+Graph BuildStagedGraph(const std::vector<Point>& coords, size_t num_nodes,
+                       const std::vector<Edge>& edges) {
   GraphBuilder builder;
-  if (old.has_coordinates()) {
-    for (const Point& p : old.coordinates()) builder.AddNode(p);
+  if (!coords.empty()) {
+    for (const Point& p : coords) builder.AddNode(p);
   } else {
-    builder.EnsureNodes(old.NumNodes());
+    builder.EnsureNodes(num_nodes);
   }
   for (const Edge& e : edges) builder.AddEdge(e.src, e.dst, e.weight);
   return builder.Build();
+}
+
+/// The fragmentation-graph adjacency as a comparable value: the sorted
+/// pair set of nonempty disconnection sets. If this changes between
+/// epochs, chains not enumerable in the old fragmentation graph may exist,
+/// so no cached plan is trustworthy.
+std::vector<std::pair<FragmentId, FragmentId>> AdjacencyPairs(
+    const Fragmentation& frag) {
+  std::vector<std::pair<FragmentId, FragmentId>> pairs;
+  pairs.reserve(frag.disconnection_sets().size());
+  for (const DisconnectionSet& ds : frag.disconnection_sets()) {
+    pairs.emplace_back(ds.frag_a, ds.frag_b);
+  }
+  return pairs;  // disconnection_sets() is sorted by (frag_a, frag_b)
 }
 
 }  // namespace
@@ -24,16 +40,14 @@ Graph RebuildGraph(const Graph& old, const std::vector<Edge>& edges) {
 MaintainedDatabase::MaintainedDatabase(
     Graph graph, std::vector<FragmentId> fragment_of_edge,
     size_t num_fragments, DsaOptions options)
-    : graph_(std::move(graph)),
+    : options_(options),
+      edges_(graph.edges()),
+      coords_(graph.coordinates()),
+      num_nodes_(graph.NumNodes()),
       fragment_of_edge_(std::move(fragment_of_edge)),
-      num_fragments_(num_fragments),
-      options_(options) {
-  TCF_CHECK(fragment_of_edge_.size() == graph_.NumEdges());
-  edges_dirty_ = true;
-  Rebuild(/*structure_changed=*/true);
-  // Construction is not an update; start the meters at zero.
-  refreshes_ = 0;
-  rebuilds_ = 0;
+      num_fragments_(num_fragments) {
+  TCF_CHECK(fragment_of_edge_.size() == edges_.size());
+  PublishInitial();
 }
 
 MaintainedDatabase MaintainedDatabase::FromFragmentation(
@@ -50,31 +64,39 @@ MaintainedDatabase MaintainedDatabase::FromFragmentation(
                             frag.NumFragments(), options);
 }
 
-void MaintainedDatabase::Rebuild(bool structure_changed) {
-  // Any edge-set change invalidates the Fragmentation's derived edge lists,
-  // so the object is rebuilt whenever it might be stale; the *meter* only
-  // counts updates that changed fragment node sets (what a distributed
-  // deployment would have to re-negotiate between sites). Pure re-weights
-  // keep the old Fragmentation (same edges, same ids).
-  if (edges_dirty_ || frag_ == nullptr) {
-    frag_ = std::make_unique<Fragmentation>(&graph_, fragment_of_edge_,
-                                            num_fragments_);
-    // Compaction may renumber fragments; adopt the compacted assignment.
-    fragment_of_edge_ = frag_->fragment_of_edge();
-    num_fragments_ = frag_->NumFragments();
-    edges_dirty_ = false;
-  }
-  if (structure_changed) ++rebuilds_;
-  // DsaDatabase construction recomputes the complementary information.
-  db_ = std::make_unique<DsaDatabase>(frag_.get(), options_);
-  ++refreshes_;
+void MaintainedDatabase::PublishInitial() {
+  auto graph = std::make_shared<const Graph>(
+      BuildStagedGraph(coords_, num_nodes_, edges_));
+  std::shared_ptr<const Fragmentation> frag(
+      new Fragmentation(graph.get(), fragment_of_edge_, num_fragments_),
+      [graph](const Fragmentation* p) { delete p; });
+  // Compaction may renumber fragments; adopt the compacted assignment.
+  fragment_of_edge_ = frag->fragment_of_edge();
+  num_fragments_ = frag->NumFragments();
+  std::shared_ptr<const DsaDatabase> db(
+      new DsaDatabase(frag.get(), options_),
+      [frag](const DsaDatabase* p) { delete p; });
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = DsaSnapshot{0, std::move(graph), std::move(frag),
+                          std::move(db)};
 }
 
-FragmentId MaintainedDatabase::PickFragment(NodeId src, NodeId dst) const {
+DsaSnapshot MaintainedDatabase::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+uint64_t MaintainedDatabase::epoch() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_.epoch;
+}
+
+FragmentId MaintainedDatabase::PickFragment(const Fragmentation& frag,
+                                            NodeId src, NodeId dst) const {
   // Prefer a fragment already containing both endpoints; then the smallest
   // fragment containing one; then the smallest fragment overall.
-  const auto& fs = frag_->FragmentsOfNode(src);
-  const auto& fd = frag_->FragmentsOfNode(dst);
+  const auto& fs = frag.FragmentsOfNode(src);
+  const auto& fd = frag.FragmentsOfNode(dst);
   for (FragmentId f : fs) {
     if (std::find(fd.begin(), fd.end(), f) != fd.end()) return f;
   }
@@ -82,7 +104,7 @@ FragmentId MaintainedDatabase::PickFragment(NodeId src, NodeId dst) const {
     FragmentId best = Fragmentation::kInvalidFragment;
     for (FragmentId f : candidates) {
       if (best == Fragmentation::kInvalidFragment ||
-          frag_->FragmentEdges(f).size() < frag_->FragmentEdges(best).size()) {
+          frag.FragmentEdges(f).size() < frag.FragmentEdges(best).size()) {
         best = f;
       }
     }
@@ -92,68 +114,191 @@ FragmentId MaintainedDatabase::PickFragment(NodeId src, NodeId dst) const {
   either.insert(either.end(), fd.begin(), fd.end());
   FragmentId best = smallest_of(either);
   if (best != Fragmentation::kInvalidFragment) return best;
-  std::vector<FragmentId> all(frag_->NumFragments());
-  for (FragmentId f = 0; f < frag_->NumFragments(); ++f) all[f] = f;
+  std::vector<FragmentId> all(frag.NumFragments());
+  for (FragmentId f = 0; f < frag.NumFragments(); ++f) all[f] = f;
   return smallest_of(all);
+}
+
+EpochStats MaintainedDatabase::ApplyEpoch(
+    const std::vector<EdgeUpdate>& updates) {
+  std::lock_guard<std::mutex> update_lock(update_mutex_);
+  const DsaSnapshot old_snap = Snapshot();
+  const Fragmentation& old_frag = *old_snap.frag;
+
+  EpochStats stats;
+  stats.epoch = old_snap.epoch;
+
+  // Stage every op, classifying its weight-level effect for the
+  // incremental complementary refresh. Structural classification (the
+  // legacy meter) is against PRE-epoch node sets, matching the single-op
+  // semantics the meters always had.
+  ComplementaryDelta delta;
+  bool structural = false;
+  for (const EdgeUpdate& u : updates) {
+    switch (u.kind) {
+      case EdgeUpdate::Kind::kInsert: {
+        TCF_CHECK(u.src < num_nodes_ && u.dst < num_nodes_);
+        const FragmentId f =
+            u.target.value_or(PickFragment(old_frag, u.src, u.dst));
+        TCF_CHECK(f < num_fragments_);
+        const auto& nodes = old_frag.FragmentNodes(f);
+        structural =
+            structural ||
+            !std::binary_search(nodes.begin(), nodes.end(), u.src) ||
+            !std::binary_search(nodes.begin(), nodes.end(), u.dst);
+        edges_.push_back(Edge{u.src, u.dst, u.weight});
+        fragment_of_edge_.push_back(f);
+        delta.relaxed.push_back(Edge{u.src, u.dst, u.weight});
+        ++stats.edges_inserted;
+        ++stats.ops_applied;
+        break;
+      }
+      case EdgeUpdate::Kind::kDelete: {
+        size_t removed = 0;
+        size_t out = 0;
+        for (size_t e = 0; e < edges_.size(); ++e) {
+          if (edges_[e].src == u.src && edges_[e].dst == u.dst) {
+            ++removed;
+            continue;
+          }
+          edges_[out] = edges_[e];
+          fragment_of_edge_[out] = fragment_of_edge_[e];
+          ++out;
+        }
+        if (removed == 0) break;
+        edges_.resize(out);
+        fragment_of_edge_.resize(out);
+        delta.tightened.emplace_back(u.src, u.dst);
+        stats.edges_removed += removed;
+        ++stats.ops_applied;
+        // A deletion can shrink a fragment's node set (and thus the
+        // disconnection sets), so it is always a structural event on the
+        // legacy meter; the exact dirty sets below may still find nothing
+        // changed.
+        structural = true;
+        break;
+      }
+      case EdgeUpdate::Kind::kReweight: {
+        bool decreased = false;
+        bool increased = false;
+        size_t changed = 0;
+        for (Edge& e : edges_) {
+          if (e.src != u.src || e.dst != u.dst || e.weight == u.weight) {
+            continue;
+          }
+          (u.weight < e.weight ? decreased : increased) = true;
+          e.weight = u.weight;
+          ++changed;
+        }
+        if (changed == 0) break;
+        if (decreased) {
+          delta.relaxed.push_back(Edge{u.src, u.dst, u.weight});
+        }
+        if (increased) delta.tightened.emplace_back(u.src, u.dst);
+        stats.edges_reweighted += changed;
+        ++stats.ops_applied;
+        break;
+      }
+    }
+  }
+  if (stats.ops_applied == 0) return stats;  // nothing to publish
+
+  const uint64_t epoch_id = next_epoch_++;
+  stats.epoch = epoch_id;
+  stats.published = true;
+  stats.structural = structural;
+
+  auto graph = std::make_shared<const Graph>(
+      BuildStagedGraph(coords_, num_nodes_, edges_));
+  std::shared_ptr<const Fragmentation> frag(
+      new Fragmentation(graph.get(), fragment_of_edge_, num_fragments_),
+      [graph](const Fragmentation* p) { delete p; });
+  fragment_of_edge_ = frag->fragment_of_edge();
+  const size_t new_num_fragments = frag->NumFragments();
+  // Compaction preserves the relative order of nonempty fragments, so an
+  // unchanged count means unchanged ids; a changed count renumbers and
+  // every identity-keyed carry-over below is off the table.
+  stats.renumbered = new_num_fragments != num_fragments_;
+  num_fragments_ = new_num_fragments;
+
+  // Exact post-hoc dirty sets (id-aligned epochs only).
+  std::vector<bool> dirty_fragment;
+  bool adjacency_changed = true;
+  if (!stats.renumbered) {
+    dirty_fragment.assign(num_fragments_, false);
+    for (FragmentId f = 0; f < num_fragments_; ++f) {
+      dirty_fragment[f] = frag->FragmentNodes(f) != old_frag.FragmentNodes(f);
+    }
+    adjacency_changed = AdjacencyPairs(*frag) != AdjacencyPairs(old_frag);
+  }
+  stats.caches_reset = stats.renumbered || adjacency_changed;
+
+  EpochCarryover carry;
+  carry.epoch = epoch_id;
+  carry.pool = old_snap.db->SharePool();
+
+  if (options_.use_complementary) {
+    if (stats.renumbered) {
+      carry.complementary = PrecomputeComplementary(*frag);
+      stats.complementary_searches = carry.complementary.searches;
+      stats.dirty_border_nodes = carry.complementary.searches;
+      stats.dirty_fragments = num_fragments_;
+    } else {
+      ComplementaryRefresh refresh = RefreshComplementary(
+          *frag, old_frag, old_snap.db->complementary(), delta);
+      stats.complementary_searches = refresh.info.searches;
+      stats.dirty_border_nodes = refresh.dirty_border_nodes;
+      stats.reused_border_nodes = refresh.reused_border_nodes;
+      stats.dirty_fragments = refresh.dirty_fragments;
+      stats.reused_fragments = refresh.reused_fragments;
+      carry.complementary = std::move(refresh.info);
+    }
+  }
+
+  if (!stats.caches_reset && old_snap.db->plan_cache() != nullptr) {
+    std::vector<bool> endpoint_changed(num_nodes_, false);
+    for (NodeId v = 0; v < num_nodes_; ++v) {
+      endpoint_changed[v] =
+          frag->FragmentsOfNode(v) != old_frag.FragmentsOfNode(v);
+    }
+    ChainPlanCache::EpochCarry plan_carry =
+        old_snap.db->plan_cache()->NextEpoch(dirty_fragment, endpoint_changed,
+                                             epoch_id);
+    carry.plan_cache = std::move(plan_carry.cache);
+    stats.skeletons_kept = plan_carry.skeletons_kept;
+    stats.skeletons_dropped = plan_carry.skeletons_dropped;
+    stats.plans_kept = plan_carry.plans_kept;
+    stats.plans_dropped = plan_carry.plans_dropped;
+  }
+
+  std::shared_ptr<const DsaDatabase> db(
+      new DsaDatabase(frag.get(), options_, std::move(carry)),
+      [frag](const DsaDatabase* p) { delete p; });
+
+  refreshes_.fetch_add(1, std::memory_order_relaxed);
+  if (structural) rebuilds_.fetch_add(1, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = DsaSnapshot{epoch_id, std::move(graph), std::move(frag),
+                            std::move(db)};
+  }
+  return stats;
 }
 
 void MaintainedDatabase::InsertEdge(NodeId src, NodeId dst, Weight weight,
                                     std::optional<FragmentId> target) {
-  TCF_CHECK(src < graph_.NumNodes() && dst < graph_.NumNodes());
-  const FragmentId f = target.value_or(PickFragment(src, dst));
-  TCF_CHECK(f < num_fragments_);
-
-  // Structure changes iff an endpoint is new to the chosen fragment.
-  const auto& nodes = frag_->FragmentNodes(f);
-  const bool structure_changed =
-      !std::binary_search(nodes.begin(), nodes.end(), src) ||
-      !std::binary_search(nodes.begin(), nodes.end(), dst);
-
-  std::vector<Edge> edges = graph_.edges();
-  edges.push_back(Edge{src, dst, weight});
-  fragment_of_edge_.push_back(f);
-  graph_ = RebuildGraph(graph_, edges);
-  edges_dirty_ = true;
-  Rebuild(structure_changed);
+  ApplyEpoch({EdgeUpdate::Insert(src, dst, weight, target)});
 }
 
 size_t MaintainedDatabase::DeleteEdge(NodeId src, NodeId dst) {
-  std::vector<Edge> kept;
-  std::vector<FragmentId> kept_owner;
-  size_t removed = 0;
-  for (EdgeId e = 0; e < graph_.NumEdges(); ++e) {
-    const Edge& edge = graph_.edge(e);
-    if (edge.src == src && edge.dst == dst) {
-      ++removed;
-      continue;
-    }
-    kept.push_back(edge);
-    kept_owner.push_back(fragment_of_edge_[e]);
-  }
-  if (removed == 0) return 0;
-  graph_ = RebuildGraph(graph_, kept);
-  fragment_of_edge_ = std::move(kept_owner);
-  edges_dirty_ = true;
-  // A deletion can shrink a fragment's node set (and thus the
-  // disconnection sets), so it is always a structural event.
-  Rebuild(/*structure_changed=*/true);
-  return removed;
+  return ApplyEpoch({EdgeUpdate::Delete(src, dst)}).edges_removed;
 }
 
 size_t MaintainedDatabase::ReweightEdge(NodeId src, NodeId dst,
                                         Weight new_weight) {
-  std::vector<Edge> edges = graph_.edges();
-  size_t changed = 0;
-  for (Edge& e : edges) {
-    if (e.src == src && e.dst == dst && e.weight != new_weight) {
-      e.weight = new_weight;
-      ++changed;
-    }
-  }
-  if (changed == 0) return 0;
-  graph_ = RebuildGraph(graph_, edges);
-  Rebuild(/*structure_changed=*/false);
-  return changed;
+  return ApplyEpoch({EdgeUpdate::Reweight(src, dst, new_weight)})
+      .edges_reweighted;
 }
 
 }  // namespace tcf

@@ -5,31 +5,124 @@
 // updates are not too frequent, the pre-processing costs may be amortized
 // over many queries."
 //
-// MaintainedDatabase owns a mutable copy of the relation and its
-// fragmentation and keeps a DsaDatabase consistent through edge inserts,
-// deletes and re-weights. It distinguishes the two maintenance costs:
+// MaintainedDatabase owns the authoritative mutable relation and publishes
+// it to readers as immutable *epoch snapshots*: every maintenance epoch
+// builds a fresh (Graph, Fragmentation, DsaDatabase) triple and atomically
+// swaps it in; queries in flight keep the snapshot they pinned, so updates
+// never block reads and reads never observe a half-applied epoch.
 //
-//   - a *complementary refresh* — any weight-affecting update can change
-//     global border-to-border shortest paths, so the shortcut relations
-//     must be recomputed (fragment structure intact);
-//   - a *structural rebuild* — an update that changes a fragment's node
-//     set (hence possibly the disconnection sets and the fragmentation
-//     graph) additionally re-derives the whole Fragmentation.
+// Epoch cost model. An epoch batches any mix of edge inserts, deletes and
+// re-weights, then pays for what actually changed:
 //
-// Both counters are exposed so benches can price an update workload.
+//   - *complementary refresh* — shortcut relations are refreshed
+//     incrementally (RefreshComplementary): only border nodes whose
+//     global distances can have moved are re-searched, the rest carry
+//     over. A full recompute happens only when compaction renumbered
+//     fragments.
+//   - *structural rebuild* — an epoch that changes fragment node sets
+//     additionally re-derives disconnection sets and the fragmentation
+//     graph. The legacy meters (complementary_refreshes /
+//     structural_rebuilds) keep their original conservative per-update
+//     semantics — a deletion that removed edges always counts as
+//     structural — while EpochStats reports the exact post-hoc dirty and
+//     reuse counts.
+//   - *plan-cache succession* — the successor database inherits every
+//     chain-plan and interned-plan entry that provably cannot have
+//     changed (no chain through a dirty fragment, endpoints' fragment
+//     membership intact); entries are invalidated by version succession,
+//     never in place. If the fragmentation-graph adjacency (the
+//     disconnection-set pair set) changed, or fragments were renumbered,
+//     the successor starts cold.
+//
+// Thread-safety contract:
+//   - Snapshot() and the meter accessors are safe from ANY thread at any
+//     time.
+//   - ApplyEpoch() (and the legacy InsertEdge/DeleteEdge/ReweightEdge
+//     wrappers, which are single-op epochs) may be called from any thread;
+//     calls are internally serialized — callers need no external lock.
+//   - graph()/fragmentation()/db() return references INTO THE CURRENT
+//     snapshot and are only stable until the next published epoch; they
+//     exist for single-threaded callers (tests, benches). Concurrent
+//     readers must pin a Snapshot() and use that.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <vector>
 
 #include "dsa/query_api.h"
 
 namespace tcf {
 
+/// One edge-level update, the unit batched into a maintenance epoch.
+struct EdgeUpdate {
+  enum class Kind { kInsert, kDelete, kReweight };
+
+  Kind kind = Kind::kInsert;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  /// Insert weight / reweight's new weight; ignored for deletes.
+  Weight weight = 1.0;
+  /// Insert only: fragment override (default: the maintained database's
+  /// placement rule, see MaintainedDatabase::InsertEdge).
+  std::optional<FragmentId> target;
+
+  static EdgeUpdate Insert(NodeId src, NodeId dst, Weight weight,
+                           std::optional<FragmentId> target = std::nullopt) {
+    return EdgeUpdate{Kind::kInsert, src, dst, weight, target};
+  }
+  static EdgeUpdate Delete(NodeId src, NodeId dst) {
+    return EdgeUpdate{Kind::kDelete, src, dst, 0.0, std::nullopt};
+  }
+  static EdgeUpdate Reweight(NodeId src, NodeId dst, Weight new_weight) {
+    return EdgeUpdate{Kind::kReweight, src, dst, new_weight, std::nullopt};
+  }
+};
+
+/// One published epoch: an immutable (graph, fragmentation, database)
+/// triple. The shared_ptrs chain ownership (the fragmentation keeps its
+/// graph alive, the database keeps its fragmentation alive), so any member
+/// copied out of the snapshot remains valid on its own.
+struct DsaSnapshot {
+  uint64_t epoch = 0;
+  std::shared_ptr<const Graph> graph;
+  std::shared_ptr<const Fragmentation> frag;
+  std::shared_ptr<const DsaDatabase> db;
+};
+
+/// What one ApplyEpoch call did and what it cost.
+struct EpochStats {
+  uint64_t epoch = 0;        // epoch id if published, else the current one
+  bool published = false;    // false when every op was a no-op
+  bool structural = false;   // counted on the legacy structural meter
+  bool renumbered = false;   // compaction changed fragment ids (full redo)
+  bool caches_reset = false;  // successor plan caches started cold
+
+  size_t ops_applied = 0;  // ops with an effect (no-ops are skipped)
+  size_t edges_inserted = 0;
+  size_t edges_removed = 0;
+  size_t edges_reweighted = 0;
+
+  // Exact incremental-complementary accounting (RefreshComplementary).
+  size_t complementary_searches = 0;
+  size_t dirty_border_nodes = 0;
+  size_t reused_border_nodes = 0;
+  size_t dirty_fragments = 0;
+  size_t reused_fragments = 0;
+
+  // Plan-cache succession accounting (ChainPlanCache::NextEpoch).
+  size_t skeletons_kept = 0;
+  size_t skeletons_dropped = 0;
+  size_t plans_kept = 0;
+  size_t plans_dropped = 0;
+};
+
 class MaintainedDatabase {
  public:
   /// Takes ownership of a materialized relation (as a graph) and its
-  /// edge -> fragment assignment.
+  /// edge -> fragment assignment. Publishes epoch 0.
   MaintainedDatabase(Graph graph, std::vector<FragmentId> fragment_of_edge,
                      size_t num_fragments, DsaOptions options = {});
 
@@ -37,9 +130,24 @@ class MaintainedDatabase {
   static MaintainedDatabase FromFragmentation(const Fragmentation& frag,
                                               DsaOptions options = {});
 
-  const Graph& graph() const { return graph_; }
-  const Fragmentation& fragmentation() const { return *frag_; }
-  const DsaDatabase& db() const { return *db_; }
+  MaintainedDatabase(const MaintainedDatabase&) = delete;
+  MaintainedDatabase& operator=(const MaintainedDatabase&) = delete;
+
+  /// Pins the current epoch. Safe from any thread; the returned snapshot
+  /// stays valid (and immutable) for as long as the caller holds it, no
+  /// matter how many epochs are published meanwhile.
+  DsaSnapshot Snapshot() const;
+
+  /// Current epoch id (the one Snapshot() would return right now).
+  uint64_t epoch() const;
+
+  /// Applies `updates` in order as ONE maintenance epoch and publishes the
+  /// successor snapshot (unless every op was a no-op, in which case nothing
+  /// is published and `published` is false). Serialized internally; safe
+  /// from any thread. Node ids must exist (checked).
+  EpochStats ApplyEpoch(const std::vector<EdgeUpdate>& updates);
+
+  // Legacy single-op epochs --------------------------------------------
 
   /// Inserts one edge tuple. By default it joins the fragment that already
   /// contains both endpoints, else the (smallest) fragment containing one
@@ -55,23 +163,43 @@ class MaintainedDatabase {
   /// costs a complementary refresh only.
   size_t ReweightEdge(NodeId src, NodeId dst, Weight new_weight);
 
-  /// Maintenance cost counters.
-  size_t complementary_refreshes() const { return refreshes_; }
-  size_t structural_rebuilds() const { return rebuilds_; }
+  // Current-snapshot accessors (see thread-safety contract above) ------
+
+  const Graph& graph() const { return *snapshot_.graph; }
+  const Fragmentation& fragmentation() const { return *snapshot_.frag; }
+  const DsaDatabase& db() const { return *snapshot_.db; }
+
+  /// Maintenance cost meters (legacy conservative semantics; cumulative
+  /// over all published epochs).
+  size_t complementary_refreshes() const {
+    return refreshes_.load(std::memory_order_relaxed);
+  }
+  size_t structural_rebuilds() const {
+    return rebuilds_.load(std::memory_order_relaxed);
+  }
 
  private:
-  void Rebuild(bool structure_changed);
-  FragmentId PickFragment(NodeId src, NodeId dst) const;
+  FragmentId PickFragment(const Fragmentation& frag, NodeId src,
+                          NodeId dst) const;
+  void PublishInitial();
 
-  Graph graph_;
-  std::vector<FragmentId> fragment_of_edge_;
-  size_t num_fragments_;
   DsaOptions options_;
-  std::unique_ptr<Fragmentation> frag_;
-  std::unique_ptr<DsaDatabase> db_;
-  size_t refreshes_ = 0;
-  size_t rebuilds_ = 0;
-  bool edges_dirty_ = false;
+
+  // Authoritative staged state; guarded by update_mutex_.
+  std::vector<Edge> edges_;
+  std::vector<Point> coords_;  // empty when the graph has no coordinates
+  size_t num_nodes_ = 0;
+  std::vector<FragmentId> fragment_of_edge_;
+  size_t num_fragments_ = 0;
+  uint64_t next_epoch_ = 1;
+  std::mutex update_mutex_;
+
+  // Published snapshot; pointer swap guarded by snapshot_mutex_.
+  mutable std::mutex snapshot_mutex_;
+  DsaSnapshot snapshot_;
+
+  std::atomic<size_t> refreshes_{0};
+  std::atomic<size_t> rebuilds_{0};
 };
 
 }  // namespace tcf

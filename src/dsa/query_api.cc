@@ -17,10 +17,44 @@ DsaDatabase::DsaDatabase(const Fragmentation* frag, DsaOptions options)
   }
   const size_t threads = options_.num_threads > 0 ? options_.num_threads
                                                   : frag_->NumFragments();
-  pool_ = std::make_unique<ThreadPool>(threads);
+  pool_ = std::make_shared<ThreadPool>(threads);
   if (options_.plan_cache_capacity > 0) {
     plan_cache_ = std::make_unique<ChainPlanCache>(
         options_.plan_cache_capacity, options_.interned_plan_cache_capacity);
+  }
+}
+
+DsaDatabase::DsaDatabase(const Fragmentation* frag, DsaOptions options,
+                         EpochCarryover carry)
+    : frag_(frag), options_(options), epoch_(carry.epoch) {
+  TCF_CHECK(frag != nullptr);
+  if (options_.use_complementary) {
+    complementary_ = std::move(carry.complementary);
+    TCF_CHECK_MSG(complementary_.shortcuts.size() == frag_->NumFragments(),
+                  "epoch carryover does not match the fragmentation");
+  } else {
+    complementary_.shortcuts.resize(frag_->NumFragments());
+  }
+  // Adopted relations may contain freshly rebuilt (index-cold) entries;
+  // warm them all while still single-threaded, as the primary ctor does.
+  for (const Relation& shortcuts : complementary_.shortcuts) {
+    shortcuts.WarmIndexes();
+  }
+  if (carry.pool != nullptr) {
+    pool_ = std::move(carry.pool);
+  } else {
+    const size_t threads = options_.num_threads > 0 ? options_.num_threads
+                                                    : frag_->NumFragments();
+    pool_ = std::make_shared<ThreadPool>(threads);
+  }
+  if (options_.plan_cache_capacity > 0) {
+    if (carry.plan_cache != nullptr) {
+      plan_cache_ = std::move(carry.plan_cache);
+    } else {
+      plan_cache_ = std::make_unique<ChainPlanCache>(
+          options_.plan_cache_capacity,
+          options_.interned_plan_cache_capacity);
+    }
   }
 }
 

@@ -45,6 +45,18 @@ struct DsaOptions {
   size_t interned_plan_cache_capacity = ChainPlanCache::kDefaultPlanCapacity;
 };
 
+/// State a maintenance epoch hands from the outgoing DsaDatabase to its
+/// successor, so the successor does not pay full pre-processing again:
+/// refreshed complementary info, an epoch-filtered plan cache, and the
+/// shared phase-1 worker pool (threads survive epochs; only the data
+/// around them is republished).
+struct EpochCarryover {
+  ComplementaryInfo complementary;
+  std::unique_ptr<ChainPlanCache> plan_cache;
+  std::shared_ptr<ThreadPool> pool;
+  uint64_t epoch = 0;
+};
+
 /// A fragmented database ready to answer transitive-closure queries.
 ///
 /// Thread-safety contract: after construction, all query methods are
@@ -53,10 +65,20 @@ struct DsaOptions {
 /// database (sized by DsaOptions::num_threads), and the chain-plan cache is
 /// internally synchronized. The fragmentation must stay immutable while
 /// queries run (it always is — Fragmentation is immutable by construction).
+/// A DsaDatabase never mutates after construction; updates are modeled by
+/// building a successor database (see dsa/maintenance.h).
 class DsaDatabase {
  public:
   /// `frag` must outlive the database. Precomputes complementary info.
   DsaDatabase(const Fragmentation* frag, DsaOptions options = {});
+
+  /// Epoch-successor constructor: adopts the carryover instead of
+  /// recomputing from scratch. `carry.complementary` must already be
+  /// consistent with `frag` (RefreshComplementary or a full recompute);
+  /// `carry.plan_cache` may be null to start cold; a null `carry.pool`
+  /// builds a fresh pool.
+  DsaDatabase(const Fragmentation* frag, DsaOptions options,
+              EpochCarryover carry);
 
   const Fragmentation& fragmentation() const { return *frag_; }
   const ComplementaryInfo& complementary() const { return complementary_; }
@@ -89,6 +111,15 @@ class DsaDatabase {
   /// single and batched queries draw from one set of site workers.
   ThreadPool* pool() const { return pool_.get(); }
 
+  /// The pool as a shareable handle, for carrying it into the successor
+  /// database of a maintenance epoch.
+  std::shared_ptr<ThreadPool> SharePool() const { return pool_; }
+
+  /// The maintenance epoch this database was published under (0 for a
+  /// freshly built database). Batch results are stamped with it so
+  /// concurrent readers can tell which snapshot answered them.
+  uint64_t epoch() const { return epoch_; }
+
  private:
   friend class BatchExecutor;
 
@@ -99,8 +130,9 @@ class DsaDatabase {
 
   const Fragmentation* frag_;
   DsaOptions options_;
+  uint64_t epoch_ = 0;
   ComplementaryInfo complementary_;
-  mutable std::unique_ptr<ThreadPool> pool_;
+  mutable std::shared_ptr<ThreadPool> pool_;
   mutable std::unique_ptr<ChainPlanCache> plan_cache_;
 };
 

@@ -8,29 +8,63 @@
 
 namespace tcf {
 
-std::vector<Weight> DatabaseBackend::ExecuteBatch(
-    const std::vector<Query>& queries) {
-  BatchResult result = executor_.Execute(queries);
-  cumulative_.num_queries += result.stats.num_queries;
-  cumulative_.subqueries_requested += result.stats.subqueries_requested;
-  cumulative_.subqueries_executed += result.stats.subqueries_executed;
-  cumulative_.plan_cache_hits += result.stats.plan_cache_hits;
-  cumulative_.plan_cache_misses += result.stats.plan_cache_misses;
-  cumulative_.plan_memo_hits += result.stats.plan_memo_hits;
-  cumulative_.plan_memo_misses += result.stats.plan_memo_misses;
-  cumulative_.interned_plan_hits += result.stats.interned_plan_hits;
-  cumulative_.interned_plan_misses += result.stats.interned_plan_misses;
-  cumulative_.plan_seconds += result.stats.plan_seconds;
-  cumulative_.phase1_seconds += result.stats.phase1_seconds;
-  cumulative_.assemble_seconds += result.stats.assemble_seconds;
-  cumulative_.wall_seconds += result.stats.wall_seconds;
+namespace {
 
+void AccumulateBatchStats(BatchStats* into, const BatchStats& stats) {
+  into->num_queries += stats.num_queries;
+  into->subqueries_requested += stats.subqueries_requested;
+  into->subqueries_executed += stats.subqueries_executed;
+  into->plan_cache_hits += stats.plan_cache_hits;
+  into->plan_cache_misses += stats.plan_cache_misses;
+  into->plan_memo_hits += stats.plan_memo_hits;
+  into->plan_memo_misses += stats.plan_memo_misses;
+  into->interned_plan_hits += stats.interned_plan_hits;
+  into->interned_plan_misses += stats.interned_plan_misses;
+  into->plan_seconds += stats.plan_seconds;
+  into->phase1_seconds += stats.phase1_seconds;
+  into->assemble_seconds += stats.assemble_seconds;
+  into->wall_seconds += stats.wall_seconds;
+}
+
+std::vector<Weight> CostsOf(const BatchResult& result) {
   std::vector<Weight> costs;
   costs.reserve(result.answers.size());
   for (const RouteAnswer& answer : result.answers) {
     costs.push_back(answer.answer.cost);
   }
   return costs;
+}
+
+}  // namespace
+
+uint64_t ServiceBackend::ApplyUpdates(const std::vector<EdgeUpdate>&) {
+  TCF_CHECK_MSG(false, "backend does not support updates");
+  return 0;
+}
+
+std::vector<Weight> DatabaseBackend::ExecuteBatch(
+    const std::vector<Query>& queries) {
+  BatchResult result = executor_.Execute(queries);
+  AccumulateBatchStats(&cumulative_, result.stats);
+  return CostsOf(result);
+}
+
+std::vector<Weight> MaintainedBackend::ExecuteBatch(
+    const std::vector<Query>& queries) {
+  // Pin the epoch for the whole micro-batch: a concurrent ApplyEpoch
+  // publishes a successor, but this batch keeps the snapshot (and its
+  // plan caches, pool, complementary info) it started with.
+  const DsaSnapshot snap = mdb_->Snapshot();
+  BatchExecutor executor(snap.db.get());
+  BatchResult result = executor.Execute(queries);
+  AccumulateBatchStats(&cumulative_, result.stats);
+  last_batch_epoch_ = result.epoch;
+  return CostsOf(result);
+}
+
+uint64_t MaintainedBackend::ApplyUpdates(
+    const std::vector<EdgeUpdate>& updates) {
+  return mdb_->ApplyEpoch(updates).epoch;
 }
 
 std::vector<Weight> SiteNetworkBackend::ExecuteBatch(
@@ -53,7 +87,18 @@ QueryService::QueryService(const DsaDatabase* db, ServiceOptions options)
     : options_(options),
       owned_backend_(std::make_unique<DatabaseBackend>(db)),
       backend_(owned_backend_.get()),
-      db_(db) {
+      validate_num_nodes_(db->fragmentation().graph().NumNodes()),
+      routes_supported_(db->options().use_complementary) {
+  Start();
+}
+
+QueryService::QueryService(MaintainedDatabase* mdb, ServiceOptions options)
+    : options_(options),
+      owned_backend_(std::make_unique<MaintainedBackend>(mdb)),
+      backend_(owned_backend_.get()) {
+  const DsaSnapshot snap = mdb->Snapshot();
+  validate_num_nodes_ = snap.graph->NumNodes();
+  routes_supported_ = snap.db->options().use_complementary;
   Start();
 }
 
@@ -70,6 +115,7 @@ void QueryService::Start() {
   shards_.resize(options_.admission_shards);
   for (auto& shard : shards_) shard = std::make_unique<Shard>();
   stats_.latency_seconds = Accumulator(options_.latency_sample_cap);
+  stats_.update_latency_seconds = Accumulator(options_.latency_sample_cap);
   stats_.batch_fill = Accumulator(options_.latency_sample_cap);
   start_time_ = std::chrono::steady_clock::now();
   admission_thread_ = std::thread([this]() { AdmissionLoop(); });
@@ -96,14 +142,13 @@ std::optional<std::future<Weight>> QueryService::Admit(Query query,
   // Validate at admission when the domain is known: one bad query must
   // fail its own future, not trip the backend's TCF_CHECK on the flush
   // thread and take the whole service down.
-  if (db_ != nullptr) {
-    const size_t num_nodes = db_->fragmentation().graph().NumNodes();
-    if (query.from >= num_nodes || query.to >= num_nodes) {
+  if (validate_num_nodes_ > 0) {
+    if (query.from >= validate_num_nodes_ || query.to >= validate_num_nodes_) {
       pending.promise.set_exception(std::make_exception_ptr(
           std::out_of_range("query endpoint out of range")));
       return future;
     }
-    if (query.kind == QueryKind::kRoute && !db_->options().use_complementary) {
+    if (query.kind == QueryKind::kRoute && !routes_supported_) {
       pending.promise.set_exception(std::make_exception_ptr(std::out_of_range(
           "route queries require complementary information")));
       return future;
@@ -171,7 +216,50 @@ std::vector<std::future<Weight>> QueryService::SubmitBatch(
   return futures;
 }
 
+std::future<uint64_t> QueryService::SubmitUpdate(EdgeUpdate update) {
+  PendingUpdate pending;
+  pending.update = update;
+  pending.submit_time = std::chrono::steady_clock::now();
+  std::future<uint64_t> future = pending.promise.get_future();
+
+  if (!backend_->SupportsUpdates()) {
+    pending.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("backend does not support updates")));
+    return future;
+  }
+  if (validate_num_nodes_ > 0 && (update.src >= validate_num_nodes_ ||
+                                  update.dst >= validate_num_nodes_)) {
+    pending.promise.set_exception(std::make_exception_ptr(
+        std::out_of_range("update endpoint out of range")));
+    return future;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(update_mutex_);
+    if (updates_stopping_) {
+      pending.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("QueryService is shut down")));
+      return future;
+    }
+    update_queue_.push_back(std::move(pending));
+    updates_pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Always ring: updates bypass the coalescing window, and the flush
+  // thread may be sleeping until a max_wait deadline that an update must
+  // cut short.
+  RingDoorbell();
+  return future;
+}
+
 void QueryService::Shutdown() {
+  // Stop the update lane first (mirroring the shard-flag protocol below):
+  // an update admitted under `updates_stopping_ == false` is ordered
+  // before this flag flip, which is ordered before the release-store of
+  // stop_requested_ — so the flush thread's final DrainUpdates sees it.
+  {
+    std::lock_guard<std::mutex> lock(update_mutex_);
+    updates_stopping_ = true;
+  }
   // Flag every shard under its own lock FIRST: a submitter that pushed
   // after reading `stopping == false` is ordered before this sweep by the
   // shard mutex, and the sweep is ordered before the release-store of
@@ -254,27 +342,65 @@ std::vector<QueryService::Pending> QueryService::CollectBatch() {
   return admitted;
 }
 
+void QueryService::DrainUpdates() {
+  std::vector<PendingUpdate> pending;
+  {
+    std::lock_guard<std::mutex> lock(update_mutex_);
+    if (update_queue_.empty()) return;
+    pending.swap(update_queue_);
+    updates_pending_.store(0, std::memory_order_relaxed);
+  }
+
+  std::vector<EdgeUpdate> ops;
+  ops.reserve(pending.size());
+  for (const PendingUpdate& p : pending) ops.push_back(p.update);
+  const uint64_t epoch = backend_->ApplyUpdates(ops);
+
+  // Record stats BEFORE fulfilling the promises, for the same
+  // wake-then-snapshot consistency the query path guarantees.
+  const auto done = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.update_epochs;
+    stats_.updates += pending.size();
+    for (const PendingUpdate& p : pending) {
+      stats_.update_latency_seconds.Add(
+          std::chrono::duration<double>(done - p.submit_time).count());
+    }
+  }
+  for (PendingUpdate& p : pending) p.promise.set_value(epoch);
+}
+
 void QueryService::AdmissionLoop() {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(flush_mutex_);
       flush_cv_.wait(lock, [this]() {
         return stop_requested_.load(std::memory_order_acquire) ||
-               pending_.load(std::memory_order_relaxed) > 0;
+               pending_.load(std::memory_order_relaxed) > 0 ||
+               updates_pending_.load(std::memory_order_relaxed) > 0;
       });
-      if (!stop_requested_.load(std::memory_order_acquire)) {
+      if (!stop_requested_.load(std::memory_order_acquire) &&
+          updates_pending_.load(std::memory_order_relaxed) == 0 &&
+          pending_.load(std::memory_order_relaxed) > 0) {
         // Flush on size or on the oldest entry's time window; a shutdown
-        // request drains immediately. Only this thread pops, so the
-        // pending entry behind OldestSubmitTime() cannot vanish while we
-        // wait.
+        // request or an arriving update drains immediately. Only this
+        // thread pops, so the pending entry behind OldestSubmitTime()
+        // cannot vanish while we wait.
         const auto deadline = OldestSubmitTime() + options_.max_wait;
         flush_cv_.wait_until(lock, deadline, [this]() {
           return stop_requested_.load(std::memory_order_acquire) ||
                  pending_.load(std::memory_order_relaxed) >=
-                     options_.max_batch;
+                     options_.max_batch ||
+                 updates_pending_.load(std::memory_order_relaxed) > 0;
         });
       }
     }
+
+    // Updates first: a query admitted after an update's future resolved
+    // must execute on that epoch or later, and the epoch is cheapest to
+    // pay before the micro-batch pins its snapshot.
+    DrainUpdates();
 
     std::vector<Pending> admitted = CollectBatch();
     if (admitted.empty()) {

@@ -39,9 +39,22 @@
 //
 // The backend seam (ServiceBackend) is what makes the admission loop
 // deployment-agnostic: DatabaseBackend drives the in-process DsaDatabase
-// via BatchExecutor; SiteNetworkBackend drives a message-passing
-// SiteNetwork coordinator — the protocol seed for the multi-process
-// direction in ROADMAP.md.
+// via BatchExecutor; MaintainedBackend drives a MaintainedDatabase, pinning
+// the current epoch snapshot per micro-batch; SiteNetworkBackend drives a
+// message-passing SiteNetwork coordinator — the protocol seed for the
+// multi-process direction in ROADMAP.md.
+//
+// Update lane. Services over an updatable backend additionally accept
+// SubmitUpdate(EdgeUpdate): updates queue beside the query stream and the
+// flush thread applies ALL pending updates as ONE maintenance epoch at the
+// start of a wake, before the next query micro-batch. Pending updates
+// bypass the max_wait coalescing window (an update's latency is the epoch
+// cost, not a batching delay). The returned future yields the published
+// epoch id, with the ordering guarantee that matters to clients: once the
+// future resolves with epoch E, every query submitted afterwards executes
+// against a snapshot of epoch >= E. Queries already in flight keep their
+// pinned snapshot — an overlapping query may legitimately answer from any
+// epoch that was current at some instant of its admission-to-answer window.
 #pragma once
 
 #include <atomic>
@@ -56,6 +69,7 @@
 #include <vector>
 
 #include "dsa/batch.h"
+#include "dsa/maintenance.h"
 #include "util/stats.h"
 
 namespace tcf {
@@ -74,6 +88,16 @@ class ServiceBackend {
   /// when unconnected).
   virtual std::vector<Weight> ExecuteBatch(
       const std::vector<Query>& queries) = 0;
+
+  /// True when ApplyUpdates is legal; SubmitUpdate on a service over a
+  /// backend without update support fails the future instead of calling
+  /// it.
+  virtual bool SupportsUpdates() const { return false; }
+
+  /// Applies `updates` in order as ONE maintenance epoch and returns the
+  /// epoch id readers see afterwards (the pre-existing epoch when every op
+  /// was a no-op). Like ExecuteBatch, called only from the flush thread.
+  virtual uint64_t ApplyUpdates(const std::vector<EdgeUpdate>& updates);
 };
 
 /// In-process backend: one BatchExecutor::Execute per micro-batch, sharing
@@ -92,6 +116,32 @@ class DatabaseBackend : public ServiceBackend {
  private:
   BatchExecutor executor_;
   BatchStats cumulative_;
+};
+
+/// Epoch-aware backend over a MaintainedDatabase: every micro-batch pins
+/// the current snapshot (so an in-flight batch is never torn by a
+/// concurrent epoch) and updates flow through as maintenance epochs.
+class MaintainedBackend : public ServiceBackend {
+ public:
+  /// `mdb` must outlive the backend.
+  explicit MaintainedBackend(MaintainedDatabase* mdb) : mdb_(mdb) {
+    TCF_CHECK(mdb != nullptr);
+  }
+
+  std::vector<Weight> ExecuteBatch(const std::vector<Query>& queries) override;
+  bool SupportsUpdates() const override { return true; }
+  uint64_t ApplyUpdates(const std::vector<EdgeUpdate>& updates) override;
+
+  const MaintainedDatabase& maintained() const { return *mdb_; }
+  /// Batch-core accounting summed over all micro-batches this backend ran.
+  const BatchStats& cumulative_stats() const { return cumulative_; }
+  /// Epoch of the snapshot the most recent micro-batch executed on.
+  uint64_t last_batch_epoch() const { return last_batch_epoch_; }
+
+ private:
+  MaintainedDatabase* mdb_;
+  BatchStats cumulative_;
+  uint64_t last_batch_epoch_ = 0;
 };
 
 /// Message-passing backend: micro-batches go through the SiteNetwork
@@ -130,9 +180,14 @@ struct ServiceStats {
   size_t rejected = 0;   // TrySubmit refusals on a full shard
   size_t batches = 0;    // micro-batches executed
 
+  size_t updates = 0;        // edge updates applied through the service
+  size_t update_epochs = 0;  // maintenance epochs the flush thread ran
+
   /// Per-query admission-to-answer latency, in seconds (sample storage
   /// capped by ServiceOptions::latency_sample_cap).
   Accumulator latency_seconds;
+  /// Per-update submit-to-publish latency, in seconds (same sample cap).
+  Accumulator update_latency_seconds;
   /// Queries per executed micro-batch (the fill distribution: ≈max_batch
   /// under load, ≈1 under trickle traffic; same sample cap as latency).
   Accumulator batch_fill;
@@ -165,6 +220,10 @@ class QueryService {
   /// Serve `db` through an internally owned DatabaseBackend. `db` must
   /// outlive the service.
   explicit QueryService(const DsaDatabase* db, ServiceOptions options = {});
+  /// Serve `mdb` through an internally owned MaintainedBackend: queries
+  /// pin epoch snapshots and SubmitUpdate works. `mdb` must outlive the
+  /// service.
+  explicit QueryService(MaintainedDatabase* mdb, ServiceOptions options = {});
   /// Serve an external backend (e.g. SiteNetworkBackend). `backend` must
   /// outlive the service.
   explicit QueryService(ServiceBackend* backend, ServiceOptions options = {});
@@ -192,6 +251,15 @@ class QueryService {
   /// may split or merge the batch with concurrent submissions.
   std::vector<std::future<Weight>> SubmitBatch(
       const std::vector<Query>& queries);
+
+  /// Submit one edge update. The future yields the maintenance-epoch id
+  /// that includes the update; once it resolves, every query submitted
+  /// afterwards executes on that epoch or later. Carries
+  /// std::runtime_error if the backend has no update support or the
+  /// service is shut down, std::out_of_range for unknown node ids. The
+  /// update queue is unbounded — updates are expected to be orders of
+  /// magnitude rarer than queries (the paper's amortization premise).
+  std::future<uint64_t> SubmitUpdate(EdgeUpdate update);
 
   /// Stops admission and drains: blocks until every admitted query's
   /// future is fulfilled and the flush thread has exited. Idempotent.
@@ -249,15 +317,39 @@ class QueryService {
   /// all shards (no stripe can starve), notifying space on every shard it
   /// popped from.
   std::vector<Pending> CollectBatch();
+  /// Applies every queued update as one maintenance epoch and fulfills
+  /// their futures with the published epoch id. Flush thread only.
+  void DrainUpdates();
+
+  struct PendingUpdate {
+    EdgeUpdate update;
+    std::promise<uint64_t> promise;
+    std::chrono::steady_clock::time_point submit_time;
+  };
 
   ServiceOptions options_;
-  std::unique_ptr<DatabaseBackend> owned_backend_;
+  std::unique_ptr<ServiceBackend> owned_backend_;
   ServiceBackend* backend_;  // owned_backend_.get() or external
-  /// Known only for database-backed services; enables admission-time
-  /// query validation (external backends define their own domain).
-  const DsaDatabase* db_ = nullptr;
+  /// Admission-time validation domain: node-id bound (0 disables
+  /// validation — external backends define their own domain) and whether
+  /// route queries are answerable. Captured at construction; the node-id
+  /// space of a MaintainedDatabase is stable across epochs.
+  size_t validate_num_nodes_ = 0;
+  bool routes_supported_ = true;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// The update lane: one unbounded queue beside the sharded query
+  /// stripes. `update_mutex_` guards the queue and the stopping flag;
+  /// `updates_pending_` is the flush thread's lock-free wake hint (same
+  /// role as pending_). Shutdown() sets `updates_stopping_` before the
+  /// stop flag, mirroring the shard protocol, so the final drain cannot
+  /// miss an admitted update.
+  std::mutex update_mutex_;
+  std::vector<PendingUpdate> update_queue_;
+  bool updates_stopping_ = false;
+  std::atomic<size_t> updates_pending_{0};
+
   std::atomic<bool> stop_requested_{false};
   /// Total entries across all shard queues. Incremented inside the
   /// submitter's shard critical section, decremented by CollectBatch

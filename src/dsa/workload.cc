@@ -145,6 +145,57 @@ std::vector<Query> GenerateWorkload(const Fragmentation& frag,
   return queries;
 }
 
+std::vector<MixedOp> GenerateMixedWorkload(const Fragmentation& frag,
+                                           const WorkloadSpec& spec,
+                                           Rng* rng) {
+  TCF_CHECK(rng != nullptr);
+  TCF_CHECK(spec.write_fraction >= 0.0 && spec.write_fraction <= 1.0);
+  const Graph& g = frag.graph();
+
+  // Queries come from a forked stream so their draws are identical to a
+  // pure GenerateWorkload run with that fork, independent of how many
+  // update draws interleave; coin flips and update parameters come from
+  // the primary stream. Deterministic either way.
+  Rng query_rng = rng->Fork();
+  const std::vector<Query> queries = GenerateWorkload(frag, spec, &query_rng);
+  const std::vector<Edge>& initial_edges = g.edges();
+
+  auto make_update = [&]() {
+    // Uniform over the update kinds the initial edge list supports.
+    const uint64_t kind = initial_edges.empty() ? 1 : rng->NextBounded(3);
+    switch (kind) {
+      case 0: {  // reweight a random initial edge to a fresh weight
+        const Edge& e = initial_edges[rng->NextBounded(initial_edges.size())];
+        return EdgeUpdate::Reweight(e.src, e.dst,
+                                    e.weight * (0.5 + rng->NextDouble()));
+      }
+      case 1: {  // insert between random nodes
+        const NodeId src = UniformNode(g, rng);
+        const NodeId dst = UniformNode(g, rng);
+        return EdgeUpdate::Insert(src, dst, 1.0 + 9.0 * rng->NextDouble());
+      }
+      default: {  // delete a random initial edge (no-op if already gone)
+        const Edge& e = initial_edges[rng->NextBounded(initial_edges.size())];
+        return EdgeUpdate::Delete(e.src, e.dst);
+      }
+    }
+  };
+
+  std::vector<MixedOp> ops;
+  ops.reserve(spec.num_queries);
+  for (size_t i = 0; i < spec.num_queries; ++i) {
+    MixedOp op;
+    op.is_update = rng->NextBool(spec.write_fraction);
+    if (op.is_update) {
+      op.update = make_update();
+    } else {
+      op.query = queries[i];
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
 std::vector<double> GenerateArrivalTimes(const WorkloadSpec& spec, Rng* rng) {
   TCF_CHECK(rng != nullptr);
   TCF_CHECK(spec.arrival_rate_qps > 0.0);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "dsa/batch.h"
+#include "dsa/maintenance.h"
 #include "util/rng.h"
 
 namespace tcf {
@@ -58,6 +59,11 @@ struct WorkloadSpec {
   /// ...arriving this many times faster than the mean rate (the idle gap
   /// after each burst restores the mean).
   double burst_speedup = 10.0;
+
+  /// GenerateMixedWorkload: fraction of operations that are edge updates
+  /// (reweight / insert / delete of random edges) instead of queries.
+  /// 0.0 reproduces GenerateWorkload's pure-query stream.
+  double write_fraction = 0.0;
 };
 
 /// Generates `spec.num_queries` queries over `frag`'s graph, deterministic
@@ -66,6 +72,25 @@ struct WorkloadSpec {
 /// nearest simpler mix rather than failing.
 std::vector<Query> GenerateWorkload(const Fragmentation& frag,
                                     const WorkloadSpec& spec, Rng* rng);
+
+/// One operation of a read/write mixed stream: a query or an edge update.
+struct MixedOp {
+  bool is_update = false;
+  Query query;        // valid when !is_update
+  EdgeUpdate update;  // valid when is_update
+};
+
+/// Generates `spec.num_queries` operations over `frag`, deterministic in
+/// `rng`'s state: each op is an update with probability
+/// `spec.write_fraction`, else a query drawn exactly as GenerateWorkload
+/// draws them. Updates are sampled uniformly over {reweight a random
+/// existing edge to a fresh weight, insert an edge between random nodes,
+/// delete a random existing edge} against the INITIAL edge list — a
+/// replayable script, so the same (spec, seed) always yields the same op
+/// stream regardless of how it is applied.
+std::vector<MixedOp> GenerateMixedWorkload(const Fragmentation& frag,
+                                           const WorkloadSpec& spec,
+                                           Rng* rng);
 
 /// Arrival offsets in seconds for `spec.num_queries` queries —
 /// nondecreasing, starting at 0, deterministic in `rng`'s state, with mean

@@ -105,6 +105,19 @@ class LruCache {
     return out;
   }
 
+  /// Visits every resident entry as (key, shared_ptr<const Value>) from
+  /// least to most recently used, under the cache lock — `fn` must not
+  /// call back into this cache. Oldest-first order lets a caller rebuild
+  /// a filtered copy with Put() while preserving recency (the last entry
+  /// re-inserted ends up most recent, as it was here).
+  template <typename Fn>
+  void ForEachOldestFirst(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      fn(it->key, it->value);
+    }
+  }
+
   /// Drops all entries; counters are kept.
   void Clear() {
     std::lock_guard<std::mutex> lock(mutex_);

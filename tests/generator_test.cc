@@ -354,5 +354,116 @@ TEST(ArrivalTimes, BurstyIsBurstier) {
   EXPECT_GT(gap_cv(bursty), 2.0 * gap_cv(uniform));
 }
 
+// ------------------------------------------------- Mixed read/write streams
+
+/// One fragment over the whole graph: GenerateMixedWorkload only needs a
+/// fragmentation for its query half, and kUniform ignores the partition.
+Fragmentation WholeGraphFragmentation(const Graph& g) {
+  return Fragmentation(&g, std::vector<FragmentId>(g.NumEdges(), 0), 1);
+}
+
+WorkloadSpec MixedSpec(size_t n, double write_fraction) {
+  WorkloadSpec spec;
+  spec.num_queries = n;
+  spec.write_fraction = write_fraction;
+  return spec;
+}
+
+bool SameOp(const MixedOp& a, const MixedOp& b) {
+  if (a.is_update != b.is_update) return false;
+  if (a.is_update) {
+    return a.update.kind == b.update.kind && a.update.src == b.update.src &&
+           a.update.dst == b.update.dst &&
+           a.update.weight == b.update.weight &&
+           a.update.target == b.update.target;
+  }
+  return a.query.from == b.query.from && a.query.to == b.query.to &&
+         a.query.kind == b.query.kind;
+}
+
+TEST(MixedWorkload, DeterministicForSeed) {
+  Rng grng(31);
+  auto t = GenerateTransportationGraph(SmallTransportOptions(), &grng);
+  const Fragmentation frag = WholeGraphFragmentation(t.graph);
+  const WorkloadSpec spec = MixedSpec(600, 0.4);
+  Rng r1(32), r2(32);
+  const std::vector<MixedOp> a = GenerateMixedWorkload(frag, spec, &r1);
+  const std::vector<MixedOp> b = GenerateMixedWorkload(frag, spec, &r2);
+  ASSERT_EQ(a.size(), 600u);
+  ASSERT_EQ(b.size(), 600u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(SameOp(a[i], b[i])) << "op " << i;  // bit-exact
+  }
+}
+
+TEST(MixedWorkload, WriteFractionMatchesExpectation) {
+  Rng grng(33);
+  auto t = GenerateTransportationGraph(SmallTransportOptions(), &grng);
+  const Fragmentation frag = WholeGraphFragmentation(t.graph);
+  Rng rng(34);
+  const std::vector<MixedOp> ops =
+      GenerateMixedWorkload(frag, MixedSpec(2000, 0.3), &rng);
+  size_t updates = 0;
+  for (const MixedOp& op : ops) updates += op.is_update ? 1 : 0;
+  // ~4 sigma of Binomial(2000, 0.3).
+  EXPECT_NEAR(static_cast<double>(updates), 600.0, 85.0);
+}
+
+TEST(MixedWorkload, ZeroWriteFractionReproducesPureQueries) {
+  Rng grng(35);
+  auto t = GenerateTransportationGraph(SmallTransportOptions(), &grng);
+  const Fragmentation frag = WholeGraphFragmentation(t.graph);
+  const WorkloadSpec spec = MixedSpec(400, 0.0);
+
+  Rng mixed_rng(36);
+  const std::vector<MixedOp> ops =
+      GenerateMixedWorkload(frag, spec, &mixed_rng);
+  // Queries come from a forked stream, so the pure-query twin is
+  // GenerateWorkload driven by the same fork.
+  Rng pure_rng(36);
+  Rng fork = pure_rng.Fork();
+  const std::vector<Query> queries = GenerateWorkload(frag, spec, &fork);
+
+  ASSERT_EQ(ops.size(), queries.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    ASSERT_FALSE(ops[i].is_update) << "op " << i;
+    EXPECT_EQ(ops[i].query.from, queries[i].from) << "op " << i;
+    EXPECT_EQ(ops[i].query.to, queries[i].to) << "op " << i;
+  }
+}
+
+TEST(MixedWorkload, FullWriteFractionIsAllValidUpdates) {
+  Rng grng(37);
+  auto t = GenerateTransportationGraph(SmallTransportOptions(), &grng);
+  const Fragmentation frag = WholeGraphFragmentation(t.graph);
+  Rng rng(38);
+  const std::vector<MixedOp> ops =
+      GenerateMixedWorkload(frag, MixedSpec(300, 1.0), &rng);
+  ASSERT_EQ(ops.size(), 300u);
+  bool saw_insert = false, saw_delete = false, saw_reweight = false;
+  for (const MixedOp& op : ops) {
+    ASSERT_TRUE(op.is_update);
+    EXPECT_LT(op.update.src, t.graph.NumNodes());
+    EXPECT_LT(op.update.dst, t.graph.NumNodes());
+    switch (op.update.kind) {
+      case EdgeUpdate::Kind::kInsert:
+        saw_insert = true;
+        EXPECT_GT(op.update.weight, 0.0);
+        break;
+      case EdgeUpdate::Kind::kDelete:
+        saw_delete = true;
+        break;
+      case EdgeUpdate::Kind::kReweight:
+        saw_reweight = true;
+        EXPECT_GT(op.update.weight, 0.0);
+        break;
+    }
+  }
+  // 300 draws over three kinds: all three appear.
+  EXPECT_TRUE(saw_insert);
+  EXPECT_TRUE(saw_delete);
+  EXPECT_TRUE(saw_reweight);
+}
+
 }  // namespace
 }  // namespace tcf

@@ -5,6 +5,7 @@
 // complementary refreshes.
 #include <gtest/gtest.h>
 
+#include "dsa/batch.h"
 #include "dsa/maintenance.h"
 #include "fragment/center_based.h"
 #include "graph/algorithms.h"
@@ -129,6 +130,142 @@ TEST(Maintenance, FromFragmentationRoundTrip) {
   MaintainedDatabase mdb = MaintainedDatabase::FromFragmentation(frag);
   EXPECT_EQ(mdb.graph().NumEdges(), tg.graph.NumEdges());
   EXPECT_EQ(mdb.fragmentation().NumFragments(), frag.NumFragments());
+  ExpectMatchesOracle(mdb);
+}
+
+// Epoch-granular behavior ---------------------------------------------
+
+TEST(MaintenanceEpoch, EmptyEpochPublishesNothing) {
+  MaintainedDatabase mdb = MakeChainDb();
+  const uint64_t before = mdb.epoch();
+
+  EpochStats stats = mdb.ApplyEpoch({});
+  EXPECT_FALSE(stats.published);
+  EXPECT_EQ(stats.ops_applied, 0u);
+  EXPECT_EQ(mdb.epoch(), before);
+
+  // An epoch of pure no-ops is the same as an empty one: nothing is
+  // published and no meter moves.
+  stats = mdb.ApplyEpoch({EdgeUpdate::Delete(0, 4),
+                          EdgeUpdate::Reweight(1, 2, 1.0)});
+  EXPECT_FALSE(stats.published);
+  EXPECT_EQ(stats.ops_applied, 0u);
+  EXPECT_EQ(mdb.epoch(), before);
+  EXPECT_EQ(mdb.structural_rebuilds(), 0u);
+  EXPECT_EQ(mdb.complementary_refreshes(), 0u);
+}
+
+TEST(MaintenanceEpoch, MultiOpEpochCountsOnce) {
+  MaintainedDatabase mdb = MakeChainDb();
+  const EpochStats stats = mdb.ApplyEpoch(
+      {EdgeUpdate::Insert(0, 2, 0.5), EdgeUpdate::Insert(2, 0, 0.5),
+       EdgeUpdate::Reweight(1, 2, 5.0)});
+  EXPECT_TRUE(stats.published);
+  EXPECT_EQ(stats.ops_applied, 3u);
+  EXPECT_EQ(stats.edges_inserted, 2u);
+  EXPECT_EQ(stats.edges_reweighted, 1u);
+  EXPECT_EQ(mdb.epoch(), stats.epoch);
+  // The legacy meters count per EPOCH, not per op.
+  EXPECT_EQ(mdb.complementary_refreshes(), 1u);
+  EXPECT_EQ(mdb.structural_rebuilds(), 0u);
+  ExpectMatchesOracle(mdb);
+}
+
+TEST(MaintenanceEpoch, DeletingAFragmentsLastEdgesRenumbers) {
+  MaintainedDatabase mdb = MakeChainDb();
+  // One epoch removes every fragment-1 edge; compaction drops the empty
+  // fragment, so ids renumber and every identity-keyed carry-over (plan
+  // caches, incremental complementary) is off the table.
+  const EpochStats stats = mdb.ApplyEpoch(
+      {EdgeUpdate::Delete(2, 3), EdgeUpdate::Delete(3, 2),
+       EdgeUpdate::Delete(3, 4), EdgeUpdate::Delete(4, 3)});
+  EXPECT_TRUE(stats.published);
+  EXPECT_TRUE(stats.structural);
+  EXPECT_TRUE(stats.renumbered);
+  EXPECT_TRUE(stats.caches_reset);
+  EXPECT_EQ(stats.edges_removed, 4u);
+  EXPECT_EQ(mdb.fragmentation().NumFragments(), 1u);
+  // Nodes 3 and 4 lost every incident edge and with them all fragment
+  // membership; queries against them come back unconnected, not invalid.
+  EXPECT_FALSE(mdb.db().IsConnected(0, 4));
+  EXPECT_FALSE(mdb.db().IsConnected(3, 4));
+  ExpectMatchesOracle(mdb);
+}
+
+TEST(MaintenanceEpoch, ReweightOnlyEpochIsStructureFree) {
+  MaintainedDatabase mdb = MakeChainDb();
+  const EpochStats stats = mdb.ApplyEpoch(
+      {EdgeUpdate::Reweight(1, 2, 5.0), EdgeUpdate::Reweight(2, 1, 5.0),
+       EdgeUpdate::Reweight(0, 1, 2.0)});
+  EXPECT_TRUE(stats.published);
+  EXPECT_FALSE(stats.structural);
+  EXPECT_FALSE(stats.renumbered);
+  EXPECT_FALSE(stats.caches_reset);
+  EXPECT_EQ(stats.edges_reweighted, 3u);
+  // Fragment node sets did not move, so plan-cache succession drops
+  // nothing and the structural meter stays put.
+  EXPECT_EQ(stats.skeletons_dropped, 0u);
+  EXPECT_EQ(stats.plans_dropped, 0u);
+  EXPECT_EQ(mdb.structural_rebuilds(), 0u);
+  EXPECT_EQ(mdb.complementary_refreshes(), 1u);
+  ExpectMatchesOracle(mdb);
+  EXPECT_NEAR(mdb.db().ShortestPath(0, 2).cost, 7.0, 1e-9);
+}
+
+// The tentpole's precision claim: an epoch invalidates exactly the cached
+// plans whose chains touch a dirty fragment; plans over untouched chains
+// survive into the successor database and keep serving as cross-batch
+// interned-plan hits.
+TEST(MaintenanceEpoch, CacheInvalidationIsChainPrecise) {
+  // A 4-fragment path: F0={0,1} F1={1,2,3} F2={3,4,5} F3={5,6,7}.
+  GraphBuilder b(8);
+  b.AddSymmetricEdge(0, 1, 1.0);  // F0
+  b.AddSymmetricEdge(1, 2, 1.0);  // F1
+  b.AddSymmetricEdge(2, 3, 1.0);  // F1
+  b.AddSymmetricEdge(3, 4, 1.0);  // F2
+  b.AddSymmetricEdge(4, 5, 1.0);  // F2
+  b.AddSymmetricEdge(5, 6, 1.0);  // F3
+  b.AddSymmetricEdge(6, 7, 1.0);  // F3
+  MaintainedDatabase mdb(b.Build(),
+                         {0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3}, 4);
+
+  // Warm the interned-plan cache with one pair per end of the path: 0->2
+  // plans over chain [F0, F1], 4->7 over chain [F2, F3].
+  const std::vector<Query> queries = {{0, 2, QueryKind::kCost},
+                                      {4, 7, QueryKind::kCost}};
+  {
+    BatchExecutor executor(&mdb.db());
+    const BatchResult cold = executor.Execute(queries);
+    EXPECT_EQ(cold.stats.interned_plan_misses, 2u);
+    const BatchResult warm = executor.Execute(queries);
+    EXPECT_EQ(warm.stats.interned_plan_hits, 2u);
+    EXPECT_EQ(warm.stats.interned_plan_misses, 0u);
+  }
+
+  // Dirty ONLY F3: pull node 4 (previously F2-only) into F3 via an edge
+  // targeted there. Fragment ids survive (no fragment emptied) and the
+  // fragmentation-graph adjacency is unchanged (F2 and F3 were already
+  // neighbors), so this is the precise-invalidation regime.
+  const EpochStats stats = mdb.ApplyEpoch(
+      {EdgeUpdate::Insert(4, 7, 10.0, FragmentId{3})});
+  EXPECT_TRUE(stats.published);
+  EXPECT_TRUE(stats.structural);
+  EXPECT_FALSE(stats.renumbered);
+  EXPECT_FALSE(stats.caches_reset);
+  // The [F0, F1] entries survive; the [F2, F3] entries die with F3 (the
+  // 4->7 plan is also endpoint-dirty: node 4 changed fragment sets).
+  EXPECT_GE(stats.skeletons_kept, 1u);
+  EXPECT_GE(stats.skeletons_dropped, 1u);
+  EXPECT_EQ(stats.plans_kept, 1u);
+  EXPECT_EQ(stats.plans_dropped, 1u);
+
+  // Differential re-run on the successor: the untouched pair is still an
+  // interned-plan hit, the dirty pair re-plans — and both answers stay
+  // oracle-exact.
+  BatchExecutor executor(&mdb.db());
+  const BatchResult after = executor.Execute(queries);
+  EXPECT_EQ(after.stats.interned_plan_hits, 1u);
+  EXPECT_EQ(after.stats.interned_plan_misses, 1u);
   ExpectMatchesOracle(mdb);
 }
 
