@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -121,12 +122,25 @@ struct RowStats {
   }
 };
 
+/// The runner class a bench run was measured on: "cpu<N>" for N hardware
+/// threads. Throughput numbers from a 2-core runner and a 16-core runner
+/// are not comparable, so the regression gate keys its rolling baselines
+/// on this string (tools/check_bench_regression.py --runner-class).
+inline std::string RunnerClass() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;  // the standard allows "unknown"
+  return "cpu" + std::to_string(hw);
+}
+
 /// Flat machine-readable metrics for the CI perf-regression gate: the
 /// bench records (key, value) pairs next to its human tables and, when
 /// `--json <path>` was passed, writes them as one JSON object
-/// ({"benchmark": ..., "metrics": {...}}). Keys ending in "_qps" are the
-/// throughput series tools/check_bench_regression.py gates on; everything
-/// else is recorded for trend inspection only.
+/// ({"benchmark": ..., "runner_class": ..., "metrics": {...}}). Keys
+/// ending in "_qps" are the throughput series
+/// tools/check_bench_regression.py gates on; everything else is recorded
+/// for trend inspection only. The runner_class field lets the gate keep
+/// baseline histories per hardware class instead of comparing throughput
+/// across machines with different core counts.
 class JsonMetrics {
  public:
   explicit JsonMetrics(std::string benchmark)
@@ -143,8 +157,10 @@ class JsonMetrics {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"metrics\": {\n",
-                 benchmark_.c_str());
+    std::fprintf(f,
+                 "{\n  \"benchmark\": \"%s\",\n"
+                 "  \"runner_class\": \"%s\",\n  \"metrics\": {\n",
+                 benchmark_.c_str(), RunnerClass().c_str());
     for (size_t i = 0; i < metrics_.size(); ++i) {
       std::fprintf(f, "    \"%s\": %.6g%s\n", metrics_[i].first.c_str(),
                    metrics_[i].second, i + 1 < metrics_.size() ? "," : "");

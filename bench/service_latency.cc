@@ -20,10 +20,19 @@
 //      global mutex off the submit path, so the win grows with submitter
 //      concurrency. The acceptance bar: shards=8 beats the single-queue
 //      baseline at 16 submitters.
+//   5. flush-worker scaling — the parallel flush pipeline
+//      (ServiceOptions::flush_workers) swept over submitters x
+//      flush-workers {1, 2, 4} x shards: concurrent micro-batch execution
+//      on a re-entrant backend. The acceptance bar (gated only where the
+//      hardware can show it): workers=4 sustains >= 1.5x the workers=1
+//      qps at 16 submitters on a machine with >= 4 hardware threads.
 //
 // `service_latency [N [clients]]` sets the workload size (default 10000)
 // and client-thread count (default 8); `--json <path>` additionally writes
 // the machine-readable metrics the CI perf gate compares.
+// `--gate-flush-speedup` turns the flush-worker acceptance bar into a
+// hard exit code on machines with >= 4 hardware threads (a no-op
+// elsewhere, so single-core runners only record the sweep).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -305,10 +314,104 @@ void ShardScalingSweep(const Fragmentation& frag, size_t num_queries,
   metrics->Set("shard_sweep/speedup_16_clients_8_vs_1", speedup);
 }
 
+/// Section 5: submitters x flush_workers x admission_shards. Returns false
+/// only when `gate` is set, the machine has >= 4 hardware threads, and the
+/// workers=4-vs-1 speedup misses the 1.5x bar.
+bool FlushWorkerSweep(const Fragmentation& frag, size_t num_queries,
+                      JsonMetrics* metrics, bool gate) {
+  const size_t n = std::min<size_t>(num_queries, 8000);
+  const std::vector<Query> queries = UniformWorkload(frag, n, 57);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  constexpr size_t kSubmitters[] = {4, 16};
+  constexpr size_t kWorkers[] = {1, 2, 4};
+  constexpr size_t kShards[] = {1, 8};
+  std::printf(
+      "flush-worker scaling: uniform mix, %zu queries, closed loop "
+      "(submitters x flush_workers x admission_shards), %u hardware "
+      "threads\n",
+      n, hardware);
+  TablePrinter table({"submitters", "shards", "workers=1 q/s",
+                      "workers=2 q/s", "workers=4 q/s", "4v1 speedup"});
+
+  double qps_16sub_8sh_w1 = 0.0;
+  double qps_16sub_8sh_w4 = 0.0;
+  for (size_t submitters : kSubmitters) {
+    for (size_t shards : kShards) {
+      std::vector<double> qps_by_workers;
+      for (size_t workers : kWorkers) {
+        // Best of three, like the shard sweep: cells compare against each
+        // other and closed-loop runs are scheduler-noisy.
+        double qps = 0.0;
+        for (int repeat = 0; repeat < 3; ++repeat) {
+          DsaDatabase db(&frag);
+          ServiceOptions opts;
+          opts.max_batch = 256;
+          opts.max_wait = std::chrono::milliseconds(2);
+          opts.admission_shards = shards;
+          opts.flush_workers = workers;
+          QueryService service(&db, opts);
+          const LoadResult run =
+              DriveClosedLoop(&service, queries, submitters, 32);
+          service.Shutdown();
+          qps = std::max(qps, static_cast<double>(n) / run.wall_seconds);
+        }
+        qps_by_workers.push_back(qps);
+        // Not *_qps-keyed: per-cell numbers stay out of the rolling-median
+        // gate (same policy as the shard sweep); the explicit
+        // --gate-flush-speedup bar below is the enforcement point.
+        metrics->Set("flush_sweep/sub_" + std::to_string(submitters) +
+                         "_workers_" + std::to_string(workers) + "_shards_" +
+                         std::to_string(shards) + "_throughput",
+                     qps);
+        if (submitters == 16 && shards == 8) {
+          if (workers == 1) qps_16sub_8sh_w1 = qps;
+          if (workers == 4) qps_16sub_8sh_w4 = qps;
+        }
+      }
+      table.AddRow({std::to_string(submitters), std::to_string(shards),
+                    TablePrinter::Fmt(qps_by_workers[0], 0),
+                    TablePrinter::Fmt(qps_by_workers[1], 0),
+                    TablePrinter::Fmt(qps_by_workers[2], 0),
+                    TablePrinter::Fmt(
+                        qps_by_workers[2] / qps_by_workers[0], 2) +
+                        "x"});
+    }
+  }
+  table.Print();
+  const double speedup = qps_16sub_8sh_w1 == 0.0
+                             ? 0.0
+                             : qps_16sub_8sh_w4 / qps_16sub_8sh_w1;
+  std::printf(
+      "16-submitter speedup, 4 flush workers vs 1 (8 shards): %.2fx\n\n",
+      speedup);
+  metrics->Set("flush_sweep/speedup_workers4_vs_1", speedup);
+  metrics->Set("flush_sweep/hardware_threads",
+               static_cast<double>(hardware));
+
+  if (gate && hardware >= 4 && speedup < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: flush-worker speedup %.2fx < 1.50x bar "
+                 "(workers=4 vs 1 at 16 submitters, 8 shards, %u hardware "
+                 "threads)\n",
+                 speedup, hardware);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string json_path = ConsumeJsonFlag(&argc, argv);
+  bool gate_flush_speedup = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--gate-flush-speedup") {
+      gate_flush_speedup = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
   const size_t num_queries =
       argc > 1 ? static_cast<size_t>(std::strtoull(argv[1], nullptr, 10))
                : 10000;
@@ -331,7 +434,9 @@ int main(int argc, char** argv) {
                       &metrics);
   OpenLoopArrivals(frag, num_queries, &metrics);
   ShardScalingSweep(frag, num_queries, &metrics);
+  const bool flush_ok =
+      FlushWorkerSweep(frag, num_queries, &metrics, gate_flush_speedup);
 
   if (!json_path.empty() && !metrics.WriteFile(json_path)) return 1;
-  return 0;
+  return flush_ok ? 0 : 1;
 }

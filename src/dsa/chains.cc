@@ -206,7 +206,18 @@ std::shared_ptr<const InternedPlan> ChainPlanCache::PlanFor(
     return std::make_shared<const InternedPlan>(
         BuildInternedPlan(frag, from, to, max_chains, this));
   }
-  const uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
+  // Symmetric aliasing: (from, to) and (to, from) share one entry keyed by
+  // the unordered pair. Disconnection sets are direction-free
+  // (FindDisconnectionSet normalizes its arguments) and the fragmentation
+  // graph is undirected, so the reverse pair's chains are exactly the
+  // element-wise reversals of the stored plan's chains — the instantiator
+  // reverses them on the fly (see InstantiateInternedPlan). The stored
+  // plan's own from/to record which direction built it. This doubles the
+  // cache's effective node-pair capacity, which matters once concurrent
+  // flush workers hammer it from both directions of hot pairs.
+  const NodeId lo = std::min(from, to);
+  const NodeId hi = std::max(from, to);
+  const uint64_t key = (static_cast<uint64_t>(lo) << 32) | hi;
   if (std::shared_ptr<const InternedPlan> hit = plan_cache_->Get(key)) {
     if (was_hit_out != nullptr) *was_hit_out = true;
     return hit;

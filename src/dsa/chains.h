@@ -185,7 +185,14 @@ class ChainPlanCache {
       size_t max_chains, bool* was_hit_out = nullptr);
 
   /// The interned plan for the NODE pair `from` -> `to`, built through
-  /// this cache's skeletons on a miss. A racing build of the same cold
+  /// this cache's skeletons on a miss. Entries are keyed by the UNORDERED
+  /// pair: (a, b) and (b, a) alias one entry (2× effective capacity), and
+  /// the returned plan's own from/to say which direction built it — a
+  /// caller querying the reverse direction must instantiate it reversed
+  /// (InstantiateInternedPlan in dsa/executor.h does this transparently;
+  /// valid because disconnection sets and fragment adjacency are
+  /// symmetric, so the reverse pair's chains are the element-wise
+  /// reversals of the stored ones). A racing build of the same cold
   /// pair may run twice (the loser's plan is returned to its caller and
   /// simply not cached), which keeps every caller's skeleton-lookup
   /// accounting consistent with the cumulative Stats(). `was_hit_out`, if
@@ -246,7 +253,8 @@ class ChainPlanCache {
  private:
   uint64_t epoch_ = 0;
   LruCache<uint64_t, PlanSkeleton> cache_;
-  /// Interned plans by PairKey(from, to); null when plan_capacity == 0.
+  /// Interned plans by PairKey(min(from, to), max(from, to)) — the
+  /// unordered node pair; null when plan_capacity == 0.
   std::unique_ptr<LruCache<uint64_t, InternedPlan, PairKeyHash>> plan_cache_;
 };
 

@@ -115,15 +115,49 @@ void StampChain(const FragmentChain& chain,
   }
 }
 
+// The reverse-orientation twin of StampChain, used when a plan cached for
+// (a, b) serves a (b, a) query: the chain is traversed back-to-front and
+// each hop's source/target roles swap. A hop's fixed selections are
+// disconnection sets, which are symmetric, so the reversed hop's sources
+// are exactly the original hop's targets; the original first hop's
+// endpoint slot (the cached plan's `from`) becomes the reversed last
+// hop's target, stamped with the caller's `to` — which IS the cached
+// `from`, so the stamped constants are the same nodes, just on swapped
+// sides.
+void StampChainReversed(const FragmentChain& chain,
+                        const std::vector<HopTemplate>& hops, NodeId from,
+                        NodeId to, SpecSink* specs, QueryPlan* plan) {
+  plan->chains.emplace_back(chain.rbegin(), chain.rend());
+  std::vector<size_t>& refs = plan->chain_specs.emplace_back();
+  refs.reserve(hops.size());
+  for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+    const HopTemplate& hop = *it;
+    SpecKey key(hop.fragment,
+                hop.target_is_endpoint ? std::vector<NodeId>{from}
+                                       : hop.targets,
+                hop.source_is_endpoint ? std::vector<NodeId>{to}
+                                       : hop.sources);
+    refs.push_back(specs->Intern(std::move(key)));
+  }
+}
+
 }  // namespace
 
-QueryPlan InstantiateInternedPlan(const InternedPlan& plan, SpecSink* specs) {
+QueryPlan InstantiateInternedPlan(const InternedPlan& plan, NodeId from,
+                                  NodeId to, SpecSink* specs) {
   TCF_CHECK(specs != nullptr);
+  const bool forward = from == plan.from && to == plan.to;
+  TCF_CHECK_MSG(forward || (from == plan.to && to == plan.from),
+                "interned plan endpoints do not match the query");
   QueryPlan out;
   out.chains.reserve(plan.num_chains());
   out.chain_specs.reserve(plan.num_chains());
   for (size_t c = 0; c < plan.num_chains(); ++c) {
-    StampChain(plan.chain(c), plan.hops(c), plan.from, plan.to, specs, &out);
+    if (forward) {
+      StampChain(plan.chain(c), plan.hops(c), from, to, specs, &out);
+    } else {
+      StampChainReversed(plan.chain(c), plan.hops(c), from, to, specs, &out);
+    }
   }
   return out;
 }
@@ -138,7 +172,7 @@ QueryPlan BuildQueryPlan(const Fragmentation& frag, NodeId from, NodeId to,
     bool was_hit = false;
     std::shared_ptr<const InternedPlan> interned =
         chain_cache->PlanFor(frag, from, to, max_chains, &was_hit);
-    QueryPlan plan = InstantiateInternedPlan(*interned, specs);
+    QueryPlan plan = InstantiateInternedPlan(*interned, from, to, specs);
     if (!was_hit) {
       // The skeleton lookups happened inside BuildInternedPlan on behalf
       // of this call; a cache hit performed none.
@@ -196,7 +230,7 @@ ParallelPlanResult PlanBatchInParallel(
     bool plan_hit = false;
     std::shared_ptr<const InternedPlan> interned =
         chain_cache->PlanFor(frag, from, to, max_chains, &plan_hit);
-    QueryPlan plan = InstantiateInternedPlan(*interned, &specs);
+    QueryPlan plan = InstantiateInternedPlan(*interned, from, to, &specs);
     if (plan_hit) {
       interned_hits.fetch_add(1, std::memory_order_relaxed);
     } else {

@@ -174,10 +174,19 @@ QueryPlan BuildQueryPlan(const Fragmentation& frag, NodeId from, NodeId to,
 
 /// Stamps an interned plan's endpoints into its skeleton-relative hop
 /// templates and interns one subquery per hop into `specs` — the
-/// cross-batch fast path of BuildQueryPlan. The produced QueryPlan is
-/// bit-identical to building from scratch; its cache_hits/cache_misses
-/// are zero (instantiation performs no skeleton lookups).
-QueryPlan InstantiateInternedPlan(const InternedPlan& plan, SpecSink* specs);
+/// cross-batch fast path of BuildQueryPlan. `(from, to)` is the pair the
+/// CALLER is planning: it must equal the plan's own endpoints in either
+/// orientation (ChainPlanCache::PlanFor aliases the unordered pair onto
+/// one entry). In the forward orientation the produced QueryPlan is
+/// bit-identical to building from scratch; in the reverse orientation
+/// every chain and its hops are emitted element-wise reversed with the
+/// source/target selections swapped — valid because disconnection sets
+/// and fragment adjacency are symmetric, and answer assembly minimizes
+/// over chains, so chain direction is immaterial to cost and route
+/// correctness. cache_hits/cache_misses are zero either way
+/// (instantiation performs no skeleton lookups).
+QueryPlan InstantiateInternedPlan(const InternedPlan& plan, NodeId from,
+                                  NodeId to, SpecSink* specs);
 
 /// A whole batch of endpoint pairs planned in parallel: one plan pointer
 /// per pair (nullptr for trivial from == to pairs), the sealed flat spec

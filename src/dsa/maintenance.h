@@ -44,6 +44,12 @@
 //     snapshot and are only stable until the next published epoch; they
 //     exist for single-threaded callers (tests, benches). Concurrent
 //     readers must pin a Snapshot() and use that.
+//   - Under a QueryService (MaintainedBackend), this contract is what the
+//     parallel flush pool leans on: the service's dedicated update-applier
+//     thread calls ApplyEpoch() while several flush workers concurrently
+//     pin Snapshot()s for their micro-batches — each batch pins its
+//     snapshot AFTER popping its queries, which is what makes an epoch a
+//     barrier for queries admitted after the update future resolved.
 #pragma once
 
 #include <atomic>

@@ -45,21 +45,40 @@ uint64_t ServiceBackend::ApplyUpdates(const std::vector<EdgeUpdate>&) {
 std::vector<Weight> DatabaseBackend::ExecuteBatch(
     const std::vector<Query>& queries) {
   BatchResult result = executor_.Execute(queries);
-  AccumulateBatchStats(&cumulative_, result.stats);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    AccumulateBatchStats(&cumulative_, result.stats);
+  }
   return CostsOf(result);
+}
+
+BatchStats DatabaseBackend::cumulative_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return cumulative_;
 }
 
 std::vector<Weight> MaintainedBackend::ExecuteBatch(
     const std::vector<Query>& queries) {
   // Pin the epoch for the whole micro-batch: a concurrent ApplyEpoch
   // publishes a successor, but this batch keeps the snapshot (and its
-  // plan caches, pool, complementary info) it started with.
+  // plan caches, pool, complementary info) it started with. Concurrent
+  // flush workers each pin independently — this is the per-batch epoch
+  // barrier: a worker picks up a published epoch at its next batch
+  // boundary, never mid-batch.
   const DsaSnapshot snap = mdb_->Snapshot();
   BatchExecutor executor(snap.db.get());
   BatchResult result = executor.Execute(queries);
-  AccumulateBatchStats(&cumulative_, result.stats);
-  last_batch_epoch_ = result.epoch;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    AccumulateBatchStats(&cumulative_, result.stats);
+  }
+  last_batch_epoch_.store(result.epoch, std::memory_order_relaxed);
   return CostsOf(result);
+}
+
+BatchStats MaintainedBackend::cumulative_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return cumulative_;
 }
 
 uint64_t MaintainedBackend::ApplyUpdates(
@@ -79,6 +98,13 @@ namespace {
 
 size_t ClampShards(size_t requested) {
   return std::clamp<size_t>(requested, 1, 256);
+}
+
+size_t ClampFlushWorkers(size_t requested) {
+  if (requested == 0) {
+    requested = std::max(1u, std::thread::hardware_concurrency());
+  }
+  return std::clamp<size_t>(requested, 1, 64);
 }
 
 }  // namespace
@@ -112,13 +138,33 @@ void QueryService::Start() {
   TCF_CHECK(options_.max_batch > 0);
   TCF_CHECK(options_.queue_capacity > 0);
   options_.admission_shards = ClampShards(options_.admission_shards);
+  options_.flush_workers = ClampFlushWorkers(options_.flush_workers);
   shards_.resize(options_.admission_shards);
   for (auto& shard : shards_) shard = std::make_unique<Shard>();
+
+  const size_t workers = options_.flush_workers;
+  group_shards_.assign(workers, {});
+  all_shards_.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    all_shards_[s] = s;
+    group_shards_[s % workers].push_back(s);  // ascending within a group
+  }
+
   stats_.latency_seconds = Accumulator(options_.latency_sample_cap);
   stats_.update_latency_seconds = Accumulator(options_.latency_sample_cap);
   stats_.batch_fill = Accumulator(options_.latency_sample_cap);
   start_time_ = std::chrono::steady_clock::now();
-  admission_thread_ = std::thread([this]() { AdmissionLoop(); });
+
+  const bool updates = backend_->SupportsUpdates();
+  live_flushers_.store(static_cast<int>(workers) + (updates ? 1 : 0),
+                       std::memory_order_relaxed);
+  flush_threads_.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    flush_threads_.emplace_back([this, w]() { FlushWorkerLoop(w); });
+  }
+  if (updates) {
+    update_thread_ = std::thread([this]() { UpdateLoop(); });
+  }
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -140,8 +186,8 @@ std::optional<std::future<Weight>> QueryService::Admit(Query query,
   std::future<Weight> future = pending.promise.get_future();
 
   // Validate at admission when the domain is known: one bad query must
-  // fail its own future, not trip the backend's TCF_CHECK on the flush
-  // thread and take the whole service down.
+  // fail its own future, not trip the backend's TCF_CHECK on a flush
+  // worker and take the whole service down.
   if (validate_num_nodes_ > 0) {
     if (query.from >= validate_num_nodes_ || query.to >= validate_num_nodes_) {
       pending.promise.set_exception(std::make_exception_ptr(
@@ -185,16 +231,18 @@ std::optional<std::future<Weight>> QueryService::Admit(Query query,
 }
 
 void QueryService::RingDoorbell() {
-  // The empty critical section is what makes the notify reliable: the
-  // flush thread evaluates its sleep predicate while holding
-  // flush_mutex_, so the notify cannot land inside its check-then-sleep
-  // window. Only the submitter whose push made the total pending count
-  // non-empty (the flush thread may be sleeping with no deadline) or
-  // made it cross max_batch (the flush thread may be sleeping until the
-  // max_wait deadline) rings; every other submit touches no global state
-  // beyond one uncontended atomic increment.
+  // The empty critical section is what makes the notify reliable: flush
+  // workers evaluate their sleep predicates while holding flush_mutex_,
+  // so the notify cannot land inside a check-then-sleep window. Only the
+  // submitter whose push made the total pending count non-empty (workers
+  // may be sleeping with no deadline) or made it cross max_batch (workers
+  // may be sleeping until a max_wait deadline) rings; every other submit
+  // touches no global state beyond one uncontended atomic increment.
+  // notify_all, not notify_one: several workers may be coalescing toward
+  // different deadlines and the one woken by notify_one might not be the
+  // owner of the shard group that just filled.
   { std::lock_guard<std::mutex> doorbell(flush_mutex_); }
-  flush_cv_.notify_one();
+  flush_cv_.notify_all();
 }
 
 std::future<Weight> QueryService::SubmitShortestPath(NodeId from, NodeId to) {
@@ -242,28 +290,28 @@ std::future<uint64_t> QueryService::SubmitUpdate(EdgeUpdate update) {
       return future;
     }
     update_queue_.push_back(std::move(pending));
-    updates_pending_.fetch_add(1, std::memory_order_relaxed);
   }
-  // Always ring: updates bypass the coalescing window, and the flush
-  // thread may be sleeping until a max_wait deadline that an update must
-  // cut short.
-  RingDoorbell();
+  // Updates wake their own applier thread — they neither ring the query
+  // doorbell nor cut a flush worker's coalescing window short; workers
+  // pick up the published epoch at their next batch boundary.
+  update_cv_.notify_one();
   return future;
 }
 
 void QueryService::Shutdown() {
   // Stop the update lane first (mirroring the shard-flag protocol below):
   // an update admitted under `updates_stopping_ == false` is ordered
-  // before this flag flip, which is ordered before the release-store of
-  // stop_requested_ — so the flush thread's final DrainUpdates sees it.
+  // before this flag flip by update_mutex_, so the applier's final drain
+  // sees it before exiting.
   {
     std::lock_guard<std::mutex> lock(update_mutex_);
     updates_stopping_ = true;
   }
+  update_cv_.notify_all();
   // Flag every shard under its own lock FIRST: a submitter that pushed
   // after reading `stopping == false` is ordered before this sweep by the
   // shard mutex, and the sweep is ordered before the release-store of
-  // stop_requested_ — so when the flush thread acquires the flag and
+  // stop_requested_ — so when a flush worker acquires the flag and
   // drains, every admitted entry is visible to it. Submitters blocked on
   // a full shard are woken here and rejected instead of deadlocking.
   for (auto& shard : shards_) {
@@ -278,7 +326,10 @@ void QueryService::Shutdown() {
   flush_cv_.notify_all();
   // join() exactly once even when Shutdown races itself (it is documented
   // thread-safe like every other public method).
-  std::call_once(join_once_, [this]() { admission_thread_.join(); });
+  std::call_once(join_once_, [this]() {
+    for (std::thread& t : flush_threads_) t.join();
+    if (update_thread_.joinable()) update_thread_.join();
+  });
 }
 
 ServiceStats QueryService::Stats() const {
@@ -295,118 +346,165 @@ ServiceStats QueryService::Stats() const {
   return snapshot;
 }
 
-std::chrono::steady_clock::time_point QueryService::OldestSubmitTime() const {
+std::chrono::steady_clock::time_point QueryService::FlushDeadline(
+    std::chrono::steady_clock::time_point oldest,
+    std::chrono::microseconds max_wait) {
+  using TimePoint = std::chrono::steady_clock::time_point;
+  const auto wait = std::chrono::duration_cast<TimePoint::duration>(max_wait);
+  // Covers both the "queues raced empty" sentinel (oldest == max()) and
+  // any near-max value whose addition would overflow into UB.
+  if (oldest >= TimePoint::max() - wait) return TimePoint::max();
+  return oldest + wait;
+}
+
+std::chrono::steady_clock::time_point QueryService::OldestSubmitTimeOf(
+    const std::vector<size_t>& shard_indices) const {
   auto oldest = std::chrono::steady_clock::time_point::max();
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    if (!shard->queue.empty()) {
-      oldest = std::min(oldest, shard->queue.front().submit_time);
+  for (size_t s : shard_indices) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+    if (!shards_[s]->queue.empty()) {
+      oldest = std::min(oldest, shards_[s]->queue.front().submit_time);
     }
   }
   return oldest;
 }
 
-std::vector<QueryService::Pending> QueryService::CollectBatch() {
+std::vector<QueryService::Pending> QueryService::CollectFromShards(
+    const std::vector<size_t>& shard_indices) {
   std::vector<Pending> admitted;
 
-  // Hold every shard lock for the merge (in shard order — submitters only
-  // ever take one, so the ordering cannot deadlock): entries are popped
-  // globally oldest-first, which is exactly the single-queue admission
-  // order, so no stripe can starve under overload.
+  // Hold every listed shard lock for the merge, acquired in ascending
+  // shard-index order (shard_indices is ascending by construction — see
+  // the Shard lock-order comment for why concurrent sweeps over
+  // overlapping subsets cannot deadlock): entries are popped oldest-first
+  // across the subset, which is the single-queue admission order
+  // restricted to it, so no stripe can starve under overload.
   std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(shards_.size());
-  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+  locks.reserve(shard_indices.size());
+  for (size_t s : shard_indices) locks.emplace_back(shards_[s]->mutex);
 
-  std::vector<bool> popped(shards_.size(), false);
+  std::vector<bool> popped(shard_indices.size(), false);
   while (admitted.size() < options_.max_batch) {
-    size_t best = shards_.size();
+    size_t best = shard_indices.size();
     auto best_time = std::chrono::steady_clock::time_point::max();
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      const auto& queue = shards_[s]->queue;
+    for (size_t i = 0; i < shard_indices.size(); ++i) {
+      const auto& queue = shards_[shard_indices[i]]->queue;
       if (!queue.empty() && queue.front().submit_time < best_time) {
         best_time = queue.front().submit_time;
-        best = s;
+        best = i;
       }
     }
-    if (best == shards_.size()) break;  // all shards empty
-    admitted.push_back(std::move(shards_[best]->queue.front()));
-    shards_[best]->queue.pop_front();
+    if (best == shard_indices.size()) break;  // all listed shards empty
+    auto& queue = shards_[shard_indices[best]]->queue;
+    admitted.push_back(std::move(queue.front()));
+    queue.pop_front();
     popped[best] = true;
   }
   pending_.fetch_sub(admitted.size(), std::memory_order_relaxed);
 
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    locks[s].unlock();
-    if (popped[s]) shards_[s]->space_cv.notify_all();
+  for (size_t i = 0; i < shard_indices.size(); ++i) {
+    locks[i].unlock();
+    if (popped[i]) shards_[shard_indices[i]]->space_cv.notify_all();
   }
   return admitted;
 }
 
-void QueryService::DrainUpdates() {
-  std::vector<PendingUpdate> pending;
-  {
-    std::lock_guard<std::mutex> lock(update_mutex_);
-    if (update_queue_.empty()) return;
-    pending.swap(update_queue_);
-    updates_pending_.store(0, std::memory_order_relaxed);
+std::vector<QueryService::Pending> QueryService::CollectBatch(size_t worker) {
+  const std::vector<size_t>& own = group_shards_[worker];
+  std::vector<Pending> admitted = CollectFromShards(own);
+  if (admitted.empty() && own.size() < shards_.size()) {
+    // Steal: the worker's own group is empty, so sweep everything,
+    // globally oldest-first — a hot group drains through every idle
+    // worker, not just its owner.
+    admitted = CollectFromShards(all_shards_);
   }
-
-  std::vector<EdgeUpdate> ops;
-  ops.reserve(pending.size());
-  for (const PendingUpdate& p : pending) ops.push_back(p.update);
-  const uint64_t epoch = backend_->ApplyUpdates(ops);
-
-  // Record stats BEFORE fulfilling the promises, for the same
-  // wake-then-snapshot consistency the query path guarantees.
-  const auto done = std::chrono::steady_clock::now();
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.update_epochs;
-    stats_.updates += pending.size();
-    for (const PendingUpdate& p : pending) {
-      stats_.update_latency_seconds.Add(
-          std::chrono::duration<double>(done - p.submit_time).count());
-    }
-  }
-  for (PendingUpdate& p : pending) p.promise.set_value(epoch);
+  return admitted;
 }
 
-void QueryService::AdmissionLoop() {
+void QueryService::UpdateLoop() {
+  for (;;) {
+    std::vector<PendingUpdate> pending;
+    {
+      std::unique_lock<std::mutex> lock(update_mutex_);
+      update_cv_.wait(lock, [this]() {
+        return updates_stopping_ || !update_queue_.empty();
+      });
+      if (update_queue_.empty()) break;  // stopping, and fully drained
+      pending.swap(update_queue_);
+    }
+
+    // All pending updates become ONE maintenance epoch. The snapshot swap
+    // inside ApplyUpdates is the epoch barrier: flush workers executing
+    // concurrently keep their pinned snapshots, and every batch collected
+    // afterwards pins the new epoch (or a later one).
+    std::vector<EdgeUpdate> ops;
+    ops.reserve(pending.size());
+    for (const PendingUpdate& p : pending) ops.push_back(p.update);
+    const uint64_t epoch = backend_->ApplyUpdates(ops);
+
+    // Record stats BEFORE fulfilling the promises, for the same
+    // wake-then-snapshot consistency the query path guarantees.
+    const auto done = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.update_epochs;
+      stats_.updates += pending.size();
+      for (const PendingUpdate& p : pending) {
+        stats_.update_latency_seconds.Add(
+            std::chrono::duration<double>(done - p.submit_time).count());
+      }
+    }
+    for (PendingUpdate& p : pending) p.promise.set_value(epoch);
+  }
+  if (live_flushers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stopped_ = true;
+    stop_time_ = std::chrono::steady_clock::now();
+  }
+}
+
+void QueryService::FlushWorkerLoop(size_t worker) {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(flush_mutex_);
       flush_cv_.wait(lock, [this]() {
         return stop_requested_.load(std::memory_order_acquire) ||
-               pending_.load(std::memory_order_relaxed) > 0 ||
-               updates_pending_.load(std::memory_order_relaxed) > 0;
+               pending_.load(std::memory_order_relaxed) > 0;
       });
       if (!stop_requested_.load(std::memory_order_acquire) &&
-          updates_pending_.load(std::memory_order_relaxed) == 0 &&
-          pending_.load(std::memory_order_relaxed) > 0) {
-        // Flush on size or on the oldest entry's time window; a shutdown
-        // request or an arriving update drains immediately. Only this
-        // thread pops, so the pending entry behind OldestSubmitTime()
-        // cannot vanish while we wait.
-        const auto deadline = OldestSubmitTime() + options_.max_wait;
-        flush_cv_.wait_until(lock, deadline, [this]() {
-          return stop_requested_.load(std::memory_order_acquire) ||
-                 pending_.load(std::memory_order_relaxed) >=
-                     options_.max_batch ||
-                 updates_pending_.load(std::memory_order_relaxed) > 0;
-        });
+          pending_.load(std::memory_order_relaxed) < options_.max_batch) {
+        // Coalesce: sleep until the worker's own oldest entry has waited
+        // max_wait. A worker whose own group is empty coalesces toward
+        // the GLOBAL oldest entry's deadline instead — under saturation
+        // the size predicate below fires immediately and it steals right
+        // away; under a trickle the owner usually collects first and the
+        // thief's sweep comes up empty. Any entry a worker pops at its
+        // deadline is older than its own group's oldest, so the max_wait
+        // latency bound holds either way. The deadline is advisory: a
+        // concurrent popper may already have taken the entry behind it,
+        // which is why FlushDeadline clamps the max() sentinel instead of
+        // letting the addition overflow.
+        auto oldest = OldestSubmitTimeOf(group_shards_[worker]);
+        if (oldest == std::chrono::steady_clock::time_point::max()) {
+          oldest = OldestSubmitTimeOf(all_shards_);
+        }
+        const auto deadline = FlushDeadline(oldest, options_.max_wait);
+        if (deadline != std::chrono::steady_clock::time_point::max()) {
+          flush_cv_.wait_until(lock, deadline, [this]() {
+            return stop_requested_.load(std::memory_order_acquire) ||
+                   pending_.load(std::memory_order_relaxed) >=
+                       options_.max_batch;
+          });
+        }
       }
     }
 
-    // Updates first: a query admitted after an update's future resolved
-    // must execute on that epoch or later, and the epoch is cheapest to
-    // pay before the micro-batch pins its snapshot.
-    DrainUpdates();
-
-    std::vector<Pending> admitted = CollectBatch();
+    std::vector<Pending> admitted = CollectBatch(worker);
     if (admitted.empty()) {
-      // stop_requested_ and nothing left to drain (the shard-flag
-      // protocol in Shutdown() guarantees no admission can appear after
-      // this sweep).
+      // CollectBatch returns empty only after a sweep of EVERY shard
+      // found nothing, so with stop_requested_ set there is nothing left
+      // to drain (the shard-flag protocol in Shutdown() guarantees no
+      // admission can appear after that sweep).
       if (stop_requested_.load(std::memory_order_acquire)) break;
       continue;
     }
@@ -439,9 +537,14 @@ void QueryService::AdmissionLoop() {
       admitted[i].promise.set_value(costs[i]);
     }
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stopped_ = true;
-  stop_time_ = std::chrono::steady_clock::now();
+  // The LAST flush-role thread out (worker or update applier) freezes the
+  // service clock, so post-Shutdown Stats() reads one stable
+  // elapsed_seconds regardless of which worker drained the final batch.
+  if (live_flushers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stopped_ = true;
+    stop_time_ = std::chrono::steady_clock::now();
+  }
 }
 
 }  // namespace tcf

@@ -11,12 +11,23 @@
 // The admission path is *sharded*: submitters are striped by thread
 // affinity over `admission_shards` independent bounded queues (own mutex,
 // own backpressure condition), so concurrent clients contend only within
-// their stripe instead of on one global admission mutex. One flush thread
-// coalesces across all shards — it merges pending entries oldest-first
-// into micro-batches — which preserves the single-queue semantics
-// exactly: flush on size (total pending ≥ max_batch) or on time window
-// (oldest pending entry older than max_wait), bounded per-shard
-// backpressure, and drain-on-shutdown.
+// their stripe instead of on one global admission mutex.
+//
+// Flushing is *parallel*: `flush_workers` worker threads (default: one per
+// hardware thread) each own a disjoint group of admission shards — shard s
+// belongs to worker s % flush_workers — and each drives its own
+// CollectBatch + ExecuteBatch + promise-fulfillment cycle, so micro-batches
+// execute concurrently on a re-entrant backend. A worker whose own group is
+// empty *steals*: it sweeps every shard globally oldest-first, so a hot
+// shard group can never starve behind one busy worker while others idle.
+// With flush_workers == 1 the worker owns every shard and the service
+// reproduces the single-flush-thread semantics exactly: flush on size
+// (total pending ≥ max_batch) or on time window (oldest pending entry older
+// than max_wait). With more workers the same per-query latency bound holds
+// (a query is collected no later than max_wait after admission, by its
+// owner or by a thief), but a size-triggered flush coalesces per group, so
+// concurrent batches may each carry a fraction of the global backlog —
+// that is the point: fill is traded for parallel execution.
 //
 // Admission policy (ServiceOptions):
 //   - max_batch:        flush as soon as this many queries are pending
@@ -30,14 +41,18 @@
 //                       backpressure); TrySubmit rejects and the
 //                       rejection is counted in ServiceStats.
 //   - admission_shards: number of admission queue stripes.
+//   - flush_workers:    number of concurrent flush workers (0 = one per
+//                       hardware thread).
 //
 // Shutdown() drains: every query admitted before the shutdown flag is
 // observed is executed and its future fulfilled; submissions arriving
 // after that get a future carrying std::runtime_error instead of a value.
 // Submitters blocked on a full shard are woken by Shutdown() and rejected
-// the same way — backpressure never deadlocks a shutdown.
+// the same way — backpressure never deadlocks a shutdown. The last flush
+// worker to exit freezes the service clock, so post-shutdown Stats() is
+// stable regardless of worker scheduling.
 //
-// The backend seam (ServiceBackend) is what makes the admission loop
+// The backend seam (ServiceBackend) is what makes the flush workers
 // deployment-agnostic: DatabaseBackend drives the in-process DsaDatabase
 // via BatchExecutor; MaintainedBackend drives a MaintainedDatabase, pinning
 // the current epoch snapshot per micro-batch; SiteNetworkBackend drives a
@@ -45,16 +60,22 @@
 // multi-process direction in ROADMAP.md.
 //
 // Update lane. Services over an updatable backend additionally accept
-// SubmitUpdate(EdgeUpdate): updates queue beside the query stream and the
-// flush thread applies ALL pending updates as ONE maintenance epoch at the
-// start of a wake, before the next query micro-batch. Pending updates
-// bypass the max_wait coalescing window (an update's latency is the epoch
-// cost, not a batching delay). The returned future yields the published
-// epoch id, with the ordering guarantee that matters to clients: once the
-// future resolves with epoch E, every query submitted afterwards executes
-// against a snapshot of epoch >= E. Queries already in flight keep their
-// pinned snapshot — an overlapping query may legitimately answer from any
-// epoch that was current at some instant of its admission-to-answer window.
+// SubmitUpdate(EdgeUpdate): updates queue beside the query stream and a
+// dedicated *update-applier thread* applies ALL pending updates as ONE
+// maintenance epoch per wake, concurrently with query execution — a slow
+// structural epoch no longer stalls admitted reads, because flush workers
+// keep executing on the previous snapshot and pick up the new epoch at
+// their next batch boundary (the snapshot swap inside ApplyUpdates is the
+// epoch barrier). The returned future yields the published epoch id, with
+// the ordering guarantee that matters to clients: once the future resolves
+// with epoch E, every query submitted afterwards executes against a
+// snapshot of epoch >= E. That holds under any number of flush workers
+// because a micro-batch pins its snapshot only AFTER popping its queries:
+// publish(E) happens-before set_value(E) happens-before the client's
+// admission happens-before the pop happens-before the snapshot pin.
+// Queries already in flight keep their pinned snapshot — an overlapping
+// query may legitimately answer from any epoch that was current at some
+// instant of its admission-to-answer window.
 #pragma once
 
 #include <atomic>
@@ -76,10 +97,12 @@ namespace tcf {
 
 class SiteNetwork;
 
-/// Where admitted micro-batches execute. Called only from the service's
-/// single flush thread, so implementations need not be re-entrant — but
-/// they may be shared with other traffic (BatchExecutor is re-entrant;
-/// SiteNetwork serializes its coordinator internally).
+/// Where admitted micro-batches execute. ExecuteBatch may be called
+/// CONCURRENTLY from the service's flush workers, so implementations must
+/// be re-entrant or serialize internally (BatchExecutor is re-entrant;
+/// SiteNetwork serializes its coordinator internally). ApplyUpdates is
+/// called only from the service's single update-applier thread, one epoch
+/// at a time, but concurrently with ExecuteBatch calls.
 class ServiceBackend {
  public:
   virtual ~ServiceBackend() = default;
@@ -96,12 +119,14 @@ class ServiceBackend {
 
   /// Applies `updates` in order as ONE maintenance epoch and returns the
   /// epoch id readers see afterwards (the pre-existing epoch when every op
-  /// was a no-op). Like ExecuteBatch, called only from the flush thread.
+  /// was a no-op). Called only from the update-applier thread.
   virtual uint64_t ApplyUpdates(const std::vector<EdgeUpdate>& updates);
 };
 
 /// In-process backend: one BatchExecutor::Execute per micro-batch, sharing
-/// the database's pool, skeleton cache, and cross-query dedup.
+/// the database's pool, skeleton cache, and cross-query dedup. Re-entrant:
+/// concurrent micro-batches share the executor (itself re-entrant) and the
+/// cumulative accounting is mutex-guarded.
 class DatabaseBackend : public ServiceBackend {
  public:
   /// `db` must outlive the backend.
@@ -111,16 +136,20 @@ class DatabaseBackend : public ServiceBackend {
 
   /// Batch-core accounting summed over all micro-batches this backend ran
   /// (dedup savings, plan-memo skips, cross-batch plan-cache hits, ...).
-  const BatchStats& cumulative_stats() const { return cumulative_; }
+  /// Returned by value: the sums keep moving under concurrent flushes.
+  BatchStats cumulative_stats() const;
 
  private:
   BatchExecutor executor_;
+  mutable std::mutex stats_mutex_;
   BatchStats cumulative_;
 };
 
 /// Epoch-aware backend over a MaintainedDatabase: every micro-batch pins
 /// the current snapshot (so an in-flight batch is never torn by a
 /// concurrent epoch) and updates flow through as maintenance epochs.
+/// Re-entrant: each micro-batch gets its own executor over its own pinned
+/// snapshot; the cumulative accounting is mutex-guarded.
 class MaintainedBackend : public ServiceBackend {
  public:
   /// `mdb` must outlive the backend.
@@ -134,18 +163,25 @@ class MaintainedBackend : public ServiceBackend {
 
   const MaintainedDatabase& maintained() const { return *mdb_; }
   /// Batch-core accounting summed over all micro-batches this backend ran.
-  const BatchStats& cumulative_stats() const { return cumulative_; }
-  /// Epoch of the snapshot the most recent micro-batch executed on.
-  uint64_t last_batch_epoch() const { return last_batch_epoch_; }
+  /// Returned by value (see DatabaseBackend::cumulative_stats).
+  BatchStats cumulative_stats() const;
+  /// Epoch of the snapshot a recently executed micro-batch ran on (with
+  /// concurrent workers, "most recent" is whichever batch stored last).
+  uint64_t last_batch_epoch() const {
+    return last_batch_epoch_.load(std::memory_order_relaxed);
+  }
 
  private:
   MaintainedDatabase* mdb_;
+  mutable std::mutex stats_mutex_;
   BatchStats cumulative_;
-  uint64_t last_batch_epoch_ = 0;
+  std::atomic<uint64_t> last_batch_epoch_{0};
 };
 
 /// Message-passing backend: micro-batches go through the SiteNetwork
-/// coordinator's batched fan-out protocol. `net` must outlive the backend.
+/// coordinator's batched fan-out protocol (serialized by the coordinator's
+/// own mutex, so concurrent flush workers are safe, just not parallel).
+/// `net` must outlive the backend.
 class SiteNetworkBackend : public ServiceBackend {
  public:
   explicit SiteNetworkBackend(SiteNetwork* net) : net_(net) {}
@@ -166,6 +202,12 @@ struct ServiceOptions {
   /// Admission-queue stripes; submitters are striped by thread affinity.
   /// Clamped to [1, 256]. 1 reproduces the single-queue service.
   size_t admission_shards = 4;
+  /// Concurrent flush workers, each owning the shard group
+  /// {s : s % flush_workers == worker} and stealing globally when its own
+  /// group is empty. 0 (the default) means one worker per hardware thread
+  /// (min 1); clamped to [1, 64]. 1 reproduces the single-flush-thread
+  /// service exactly.
+  size_t flush_workers = 0;
   /// Cap on the stored per-query latency and per-batch fill samples
   /// behind the percentile/fill accounting (a uniform reservoir over the
   /// whole stream — see util/stats.h), so a long-running service does not
@@ -181,7 +223,7 @@ struct ServiceStats {
   size_t batches = 0;    // micro-batches executed
 
   size_t updates = 0;        // edge updates applied through the service
-  size_t update_epochs = 0;  // maintenance epochs the flush thread ran
+  size_t update_epochs = 0;  // maintenance epochs the applier thread ran
 
   /// Per-query admission-to-answer latency, in seconds (sample storage
   /// capped by ServiceOptions::latency_sample_cap).
@@ -192,14 +234,33 @@ struct ServiceStats {
   /// under load, ≈1 under trickle traffic; same sample cap as latency).
   Accumulator batch_fill;
 
-  /// Wall time from service start to this snapshot (frozen at drain end
-  /// once the service is shut down).
+  /// Wall time from service start to this snapshot (frozen when the LAST
+  /// flush worker exits after Shutdown(), so post-shutdown snapshots are
+  /// identical regardless of worker scheduling).
   double elapsed_seconds = 0.0;
 
+  /// Sustained QUERY rate: completed queries per elapsed second. Updates
+  /// are deliberately excluded — they are a different operation with a
+  /// different cost; see SustainedUpdatesPerSec / SustainedOpsPerSec for
+  /// mixed workloads.
   double SustainedQps() const {
     return elapsed_seconds == 0.0
                ? 0.0
                : static_cast<double>(completed) / elapsed_seconds;
+  }
+  /// Sustained UPDATE rate: edge updates applied per elapsed second.
+  double SustainedUpdatesPerSec() const {
+    return elapsed_seconds == 0.0
+               ? 0.0
+               : static_cast<double>(updates) / elapsed_seconds;
+  }
+  /// Sustained combined operation rate (queries + updates per second) —
+  /// the number a mixed-workload bench should report as "throughput" so
+  /// update work is not silently dropped from the headline.
+  double SustainedOpsPerSec() const {
+    return elapsed_seconds == 0.0
+               ? 0.0
+               : static_cast<double>(completed + updates) / elapsed_seconds;
   }
   /// Latency percentile in milliseconds (0 when nothing completed yet).
   double LatencyPercentileMs(double p) const {
@@ -212,8 +273,8 @@ struct ServiceStats {
 };
 
 /// The admission service: any number of client threads submit single
-/// queries and receive futures; one flush thread coalesces them across the
-/// admission shards into micro-batches and executes them on the backend.
+/// queries and receive futures; flush workers coalesce them across the
+/// admission shards into micro-batches and execute them on the backend.
 /// All public methods are thread-safe.
 class QueryService {
  public:
@@ -238,7 +299,7 @@ class QueryService {
   /// unconnected), or std::runtime_error if the service was already shut
   /// down, or std::out_of_range for an invalid query (database-backed
   /// services validate at admission, so one bad query fails its own
-  /// future instead of reaching the flush thread).
+  /// future instead of reaching a flush worker).
   std::future<Weight> SubmitShortestPath(NodeId from, NodeId to);
 
   /// Non-blocking submit: nullopt when the shard is full (counted as a
@@ -247,14 +308,15 @@ class QueryService {
   std::optional<std::future<Weight>> TrySubmit(NodeId from, NodeId to);
 
   /// Submit a pre-formed batch, keeping one future per query (in query
-  /// order). Blocks element-wise when the shard fills; the admission loop
+  /// order). Blocks element-wise when the shard fills; the flush workers
   /// may split or merge the batch with concurrent submissions.
   std::vector<std::future<Weight>> SubmitBatch(
       const std::vector<Query>& queries);
 
   /// Submit one edge update. The future yields the maintenance-epoch id
   /// that includes the update; once it resolves, every query submitted
-  /// afterwards executes on that epoch or later. Carries
+  /// afterwards executes on that epoch or later (see the header comment
+  /// for why this holds under concurrent flush workers). Carries
   /// std::runtime_error if the backend has no update support or the
   /// service is shut down, std::out_of_range for unknown node ids. The
   /// update queue is unbounded — updates are expected to be orders of
@@ -262,7 +324,7 @@ class QueryService {
   std::future<uint64_t> SubmitUpdate(EdgeUpdate update);
 
   /// Stops admission and drains: blocks until every admitted query's
-  /// future is fulfilled and the flush thread has exited. Idempotent.
+  /// future is fulfilled and every flush worker has exited. Idempotent.
   void Shutdown();
 
   /// Snapshot of the accounting so far.
@@ -271,6 +333,9 @@ class QueryService {
   const ServiceOptions& options() const { return options_; }
   /// The clamped admission-shard count actually in use.
   size_t num_shards() const { return shards_.size(); }
+  /// The clamped flush-worker count actually in use (the resolved value
+  /// when flush_workers was 0 = auto).
+  size_t num_flush_workers() const { return flush_threads_.size(); }
 
  private:
   struct Pending {
@@ -280,10 +345,17 @@ class QueryService {
   };
 
   /// One admission stripe: bounded queue + its backpressure condition.
-  /// `mutex` guards everything in the struct. Lock ordering: a shard
-  /// mutex is always the innermost lock (submitters take it alone; the
-  /// flush thread takes it while holding flush_mutex_ or stats_mutex_,
-  /// never the reverse).
+  /// `mutex` guards everything in the struct.
+  ///
+  /// Lock order (the reason concurrent poppers cannot deadlock): shard
+  /// mutexes are ranked by shard index, and every multi-shard acquisition
+  /// (CollectFromShards over a group or over all shards,
+  /// OldestSubmitTimeOf, Stats) takes them in ascending index order and
+  /// releases all of them before acquiring any other set. Submitters hold
+  /// exactly one shard mutex. stats_mutex_ is acquired either alone, or
+  /// before shard mutexes (Stats), never after — flush workers release
+  /// every shard lock before recording stats. So every cycle the
+  /// wait-for graph could form is broken by the ascending-index rank.
   struct Shard {
     mutable std::mutex mutex;
     std::condition_variable space_cv;  // blocked submitters wait here
@@ -297,8 +369,10 @@ class QueryService {
     bool stopping = false;
   };
 
-  /// Shared constructor tail: validates options, builds the shards and
-  /// capped accumulators, starts the flush thread.
+  /// Shared constructor tail: validates options, builds the shards, the
+  /// worker→shard-group table, and the capped accumulators, then starts
+  /// the flush workers (and the update applier when the backend supports
+  /// updates).
   void Start();
   Shard& ShardForThisThread();
   /// The one admission path behind every Submit*: validates (when a
@@ -307,19 +381,41 @@ class QueryService {
   /// validation error); non-blocking returns nullopt on a full shard
   /// (counted as a rejection) or after shutdown.
   std::optional<std::future<Weight>> Admit(Query query, bool blocking);
-  /// Wakes the flush thread reliably (see the definition for when
+  /// Wakes the flush workers reliably (see the definition for when
   /// submitters need to).
   void RingDoorbell();
-  void AdmissionLoop();
+  /// One flush worker: coalesce, collect (own group first, then steal),
+  /// execute, fulfill. The last worker to exit freezes the stats clock.
+  void FlushWorkerLoop(size_t worker);
+  /// The update applier: drains all pending updates as one maintenance
+  /// epoch per wake, concurrently with the flush workers.
+  void UpdateLoop();
 
-  std::chrono::steady_clock::time_point OldestSubmitTime() const;
-  /// Pops up to max_batch entries, merged globally oldest-first across
-  /// all shards (no stripe can starve), notifying space on every shard it
-  /// popped from.
-  std::vector<Pending> CollectBatch();
-  /// Applies every queued update as one maintenance epoch and fulfills
-  /// their futures with the published epoch id. Flush thread only.
-  void DrainUpdates();
+  /// `OldestSubmitTime() + max_wait` clamped against overflow: when the
+  /// queues race empty between the sleep-predicate check and this call
+  /// (another popper got there first), OldestSubmitTime returns
+  /// time_point::max() and the unclamped addition is UB. Returns
+  /// time_point::max() ("no deadline") in that case.
+  static std::chrono::steady_clock::time_point FlushDeadline(
+      std::chrono::steady_clock::time_point oldest,
+      std::chrono::microseconds max_wait);
+
+  /// Oldest pending submit time across `shard_indices` (time_point::max()
+  /// when all are empty). Takes the shard locks one at a time in ascending
+  /// index order; the result is advisory — a concurrent popper may remove
+  /// the entry before the caller acts on it, which is why every deadline
+  /// derived from it goes through FlushDeadline and every sleep re-checks.
+  std::chrono::steady_clock::time_point OldestSubmitTimeOf(
+      const std::vector<size_t>& shard_indices) const;
+  /// Pops up to max_batch entries merged oldest-first across
+  /// `shard_indices`, holding all their locks (ascending index order) for
+  /// the merge, notifying space on every shard it popped from.
+  std::vector<Pending> CollectFromShards(
+      const std::vector<size_t>& shard_indices);
+  /// Worker collection policy: own shard group first; when the group is
+  /// empty, steal globally oldest-first across ALL shards. Returns empty
+  /// only when every shard was empty at the global sweep.
+  std::vector<Pending> CollectBatch(size_t worker);
 
   struct PendingUpdate {
     EdgeUpdate update;
@@ -338,41 +434,48 @@ class QueryService {
   bool routes_supported_ = true;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// group_shards_[w] = ascending shard indices owned by worker w
+  /// (s % flush_workers == w); all_shards_ = every index, for steals.
+  std::vector<std::vector<size_t>> group_shards_;
+  std::vector<size_t> all_shards_;
 
   /// The update lane: one unbounded queue beside the sharded query
-  /// stripes. `update_mutex_` guards the queue and the stopping flag;
-  /// `updates_pending_` is the flush thread's lock-free wake hint (same
-  /// role as pending_). Shutdown() sets `updates_stopping_` before the
-  /// stop flag, mirroring the shard protocol, so the final drain cannot
-  /// miss an admitted update.
+  /// stripes, drained by the dedicated applier thread sleeping on
+  /// `update_cv_`. `update_mutex_` guards the queue and the stopping
+  /// flag. Shutdown() sets `updates_stopping_` under the mutex, so an
+  /// update admitted under `stopping == false` is ordered before the flag
+  /// flip and the applier's final drain cannot miss it.
   std::mutex update_mutex_;
+  std::condition_variable update_cv_;
   std::vector<PendingUpdate> update_queue_;
   bool updates_stopping_ = false;
-  std::atomic<size_t> updates_pending_{0};
 
   std::atomic<bool> stop_requested_{false};
   /// Total entries across all shard queues. Incremented inside the
-  /// submitter's shard critical section, decremented by CollectBatch
-  /// while it holds every shard lock, so it always equals the true total
-  /// at those points; the flush thread's sleep predicates read it as a
-  /// lock-free hint (CollectBatch's full sweep is the authority).
+  /// submitter's shard critical section, decremented by CollectFromShards
+  /// while it holds its shard locks; the flush workers' sleep predicates
+  /// read it as a lock-free hint (a collect sweep is the authority).
   std::atomic<size_t> pending_{0};
 
-  /// The flush thread's doorbell: submitters ring it after enqueueing;
-  /// the flush thread sleeps here between micro-batches. Guards no data —
-  /// the predicate reads the shard queues under their own locks.
+  /// The flush workers' doorbell: submitters ring it after enqueueing;
+  /// workers sleep here between micro-batches. Guards no data — the
+  /// predicates read the shard queues under their own locks.
   mutable std::mutex flush_mutex_;
   std::condition_variable flush_cv_;
 
   /// Guards the aggregate accounting and the start/stop timestamps.
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;
-  bool stopped_ = false;  // flush thread exited; elapsed frozen
+  bool stopped_ = false;  // last flush-role thread exited; elapsed frozen
   std::chrono::steady_clock::time_point start_time_;
   std::chrono::steady_clock::time_point stop_time_;
+  /// Flush-role threads (workers + applier) still running; the thread
+  /// that decrements it to zero freezes the stats clock.
+  std::atomic<int> live_flushers_{0};
 
   std::once_flag join_once_;
-  std::thread admission_thread_;
+  std::vector<std::thread> flush_threads_;
+  std::thread update_thread_;
 };
 
 }  // namespace tcf

@@ -84,7 +84,12 @@ std::vector<Query> GenerateWorkload(const Fragmentation& frag,
       for (size_t i = 0; i < spec.num_queries; ++i) {
         if (rng->NextBool(spec.hot_fraction)) {
           const auto& [from, to] = hot[rng->NextBounded(hot.size())];
-          push(from, to);
+          if (spec.hot_reverse_fraction > 0.0 &&
+              rng->NextBool(spec.hot_reverse_fraction)) {
+            push(to, from);
+          } else {
+            push(from, to);
+          }
         } else {
           push(UniformNode(g, rng), UniformNode(g, rng));
         }

@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <set>
 
 #include "dsa/batch.h"
+#include "relational/relation.h"
 #include "dsa/workload.h"
 #include "dsa_sweep.h"
 #include "relational/warshall.h"
@@ -137,12 +139,22 @@ TEST_P(BatchPropertySweep, ParallelBatchMatchesSequentialAndOracle) {
                   }
                   return nontrivial;
                 }());
-      // Every distinct pair consults the cross-batch interned-plan cache
-      // exactly once per batch; this database is fresh, so this first
-      // batch can only miss.
+      // Every distinct ordered pair consults the cross-batch interned-plan
+      // cache exactly once per batch. The cache aliases UNORDERED pairs
+      // onto one entry, so even this fresh database can score first-batch
+      // hits when the workload holds both orientations of a pair: the
+      // first orientation builds the entry, the reverse one hits it.
+      // Each unordered pair's first consult can only miss.
       EXPECT_EQ(s.interned_plan_hits + s.interned_plan_misses,
                 s.plan_memo_misses);
-      EXPECT_EQ(s.interned_plan_hits, 0u);
+      std::set<uint64_t> unordered_pairs;
+      for (const Query& q : queries) {
+        if (q.from != q.to) {
+          unordered_pairs.insert(PairKey(std::min(q.from, q.to),
+                                         std::max(q.from, q.to)));
+        }
+      }
+      EXPECT_GE(s.interned_plan_misses, unordered_pairs.size());
 
       if (!reference.has_value()) {
         reference = result;
@@ -166,8 +178,11 @@ TEST_P(BatchPropertySweep, ParallelBatchMatchesSequentialAndOracle) {
       EXPECT_EQ(s.subqueries_executed, reference->stats.subqueries_executed);
       EXPECT_EQ(s.plan_memo_hits, reference->stats.plan_memo_hits);
       EXPECT_EQ(s.plan_memo_misses, reference->stats.plan_memo_misses);
-      EXPECT_EQ(s.interned_plan_misses,
-                reference->stats.interned_plan_misses);
+      // interned_plan_misses is deliberately NOT compared across thread
+      // counts: with unordered-pair aliasing, whether the reverse
+      // orientation of a pair hits depends on whether the forward build
+      // published first — a benign scheduling race under parallel
+      // planning (the hits+misses total is pinned above).
     }
   }
 }

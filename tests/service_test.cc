@@ -2,9 +2,11 @@
 // Floyd–Warshall min-plus oracle element-wise, micro-batches flush on size
 // and on the max_wait time window, the bounded queue rejects TrySubmit when
 // full, Shutdown drains every admitted query (and wakes submitters blocked
-// on backpressure), the sharded admission path keeps ServiceStats totals
-// scheduling-independent across shard counts, and the backend seam serves
-// both the in-process database and the message-passing SiteNetwork.
+// on backpressure), the sharded admission path and the parallel flush pool
+// keep ServiceStats totals scheduling-independent across shard and worker
+// counts (with elapsed_seconds frozen by the last worker to drain), and
+// the backend seam serves both the in-process database and the
+// message-passing SiteNetwork.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -128,6 +130,7 @@ TEST(QueryService, FlushesOnBatchSize) {
   ServiceOptions opts;
   opts.max_batch = 8;
   opts.max_wait = std::chrono::seconds(10);  // only size can flush
+  opts.flush_workers = 1;  // exact batch shapes: one popper, no splitting
   QueryService service(fx.db.get(), opts);
 
   const std::vector<Query> queries = fx.Workload(64, 9);
@@ -209,6 +212,9 @@ TEST(QueryService, TrySubmitRejectsWhenQueueFull) {
   opts.max_batch = 1;
   opts.queue_capacity = 2;
   opts.max_wait = std::chrono::microseconds(0);
+  // One flush worker: a second worker would pull a queued query into the
+  // gate too and free the slot this test needs to stay full.
+  opts.flush_workers = 1;
   QueryService service(&backend, opts);
 
   // First query is pulled into the (gated) backend; the next two fill the
@@ -313,6 +319,97 @@ TEST(QueryService, ShardSweepTotalsAreSchedulingIndependent) {
   }
 }
 
+TEST(QueryService, FlushWorkerGridTotalsAreSchedulingIndependent) {
+  // The parallel-flush analogue of the shard sweep: across flush_workers
+  // {1, 2, 4} × admission_shards {1, 4, 8}, with 8 concurrent submitters,
+  // every future resolves with the oracle answer and the drained totals
+  // are identical in every cell. Worker count may only change which
+  // thread pops a query — never whether it is admitted, answered, or
+  // counted.
+  Fixture fx(313);
+  const std::vector<Query> queries = fx.Workload(160, 17);
+  constexpr size_t kSubmitters = 8;
+
+  for (size_t workers : {1, 2, 4}) {
+    for (size_t shards : {1, 4, 8}) {
+      ServiceOptions opts;
+      opts.max_batch = 16;
+      opts.max_wait = std::chrono::microseconds(200);
+      opts.admission_shards = shards;
+      opts.flush_workers = workers;
+      QueryService service(fx.db.get(), opts);
+      ASSERT_EQ(service.num_flush_workers(), workers);
+
+      std::atomic<size_t> mismatches{0};
+      std::vector<std::thread> threads;
+      threads.reserve(kSubmitters);
+      for (size_t t = 0; t < kSubmitters; ++t) {
+        threads.emplace_back([&, t]() {
+          for (size_t i = 0; i < queries.size(); ++i) {
+            const Query& q = queries[(i + t * 37) % queries.size()];
+            const Weight got = service.SubmitShortestPath(q.from, q.to).get();
+            const Weight want = fx.oracle[q.from][q.to];
+            if (want == kInfinity ? got != kInfinity
+                                  : std::abs(got - want) > 1e-9) {
+              ++mismatches;
+            }
+          }
+        });
+      }
+      for (std::thread& th : threads) th.join();
+      service.Shutdown();
+
+      const ServiceStats stats = service.Stats();
+      SCOPED_TRACE(::testing::Message()
+                   << "workers=" << workers << " shards=" << shards);
+      EXPECT_EQ(mismatches.load(), 0u);
+      EXPECT_EQ(stats.submitted, kSubmitters * queries.size());
+      EXPECT_EQ(stats.completed, stats.submitted);
+      EXPECT_EQ(stats.rejected, 0u);
+      EXPECT_EQ(stats.latency_seconds.count(), stats.completed);
+      EXPECT_LE(stats.batch_fill.Max(), static_cast<double>(opts.max_batch));
+      // With no updates submitted, the combined operation rate degenerates
+      // to the query rate and the update rate to zero.
+      EXPECT_DOUBLE_EQ(stats.SustainedOpsPerSec(), stats.SustainedQps());
+      EXPECT_DOUBLE_EQ(stats.SustainedUpdatesPerSec(), 0.0);
+    }
+  }
+}
+
+TEST(QueryService, StatsAreFrozenAfterShutdownUnderParallelFlush) {
+  // Regression for the multi-worker stats freeze: elapsed_seconds must be
+  // stamped exactly once, by the LAST flush worker to drain — not by the
+  // first, which would leak a still-ticking clock into later snapshots.
+  // Two Stats() calls separated by real time must be identical, and the
+  // drained totals must balance regardless of which worker popped what.
+  Fixture fx(314);
+  ServiceOptions opts;
+  opts.max_batch = 8;
+  opts.max_wait = std::chrono::microseconds(200);
+  opts.flush_workers = 4;
+  opts.admission_shards = 4;
+  QueryService service(fx.db.get(), opts);
+
+  std::vector<std::future<Weight>> futures =
+      service.SubmitBatch(fx.Workload(120, 18));
+  for (auto& f : futures) f.get();
+  service.Shutdown();
+
+  const ServiceStats first = service.Stats();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const ServiceStats second = service.Stats();
+
+  EXPECT_GT(first.elapsed_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(first.elapsed_seconds, second.elapsed_seconds);
+  EXPECT_DOUBLE_EQ(first.SustainedQps(), second.SustainedQps());
+  EXPECT_DOUBLE_EQ(first.SustainedOpsPerSec(), second.SustainedOpsPerSec());
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.batches, second.batches);
+  EXPECT_EQ(first.submitted, 120u);
+  EXPECT_EQ(first.completed, first.submitted);
+  EXPECT_EQ(first.rejected, 0u);
+}
+
 TEST(QueryService, ShutdownWakesSubmitterBlockedOnFullQueue) {
   // Regression: a submitter blocked on queue_capacity backpressure must be
   // woken and rejected when Shutdown() begins — not deadlock. The gated
@@ -323,6 +420,7 @@ TEST(QueryService, ShutdownWakesSubmitterBlockedOnFullQueue) {
   opts.queue_capacity = 1;
   opts.max_wait = std::chrono::microseconds(0);
   opts.admission_shards = 1;  // one stripe: the blocked path is forced
+  opts.flush_workers = 1;     // one popper: the gate holds the only worker
   QueryService service(&backend, opts);
 
   auto running = service.SubmitShortestPath(1, 2);

@@ -383,40 +383,48 @@ INSTANTIATE_TEST_SUITE_P(
 // SubmitUpdate's future yields epoch E, a query submitted afterwards
 // executes on E or later. Single mutator, so "E or later" IS E, and the
 // epoch-E graph is engineered to give an answer no earlier epoch gives.
+// Swept over flush_workers {1, 2, 4}: the epoch barrier is applied by a
+// side thread and pinned per batch at pop time, so the guarantee must be
+// identical no matter how many flush workers race on the pop.
 TEST(UpdateDifferential, UpdateFutureOrdersSubsequentQueries) {
   World world(/*seed=*/5, Fragmenter::kCenter);
-  MaintainedDatabase mdb = MaintainedDatabase::FromFragmentation(
-      world.frag, MakeOptions(LocalEngine::kDijkstra));
-  QueryService service(&mdb);
+  for (size_t workers : {1, 2, 4}) {
+    SCOPED_TRACE(::testing::Message() << "flush_workers=" << workers);
+    MaintainedDatabase mdb = MaintainedDatabase::FromFragmentation(
+        world.frag, MakeOptions(LocalEngine::kDijkstra));
+    ServiceOptions opts;
+    opts.flush_workers = workers;
+    QueryService service(&mdb, opts);
 
-  const auto out = mdb.graph().OutEdges(0);
-  ASSERT_FALSE(out.empty());
-  const NodeId neighbor = out[0].dst;
+    const auto out = mdb.graph().OutEdges(0);
+    ASSERT_FALSE(out.empty());
+    const NodeId neighbor = out[0].dst;
 
-  uint64_t previous_epoch = 0;
-  for (int step = 1; step <= 5; ++step) {
-    // Remove every direct 0->neighbor edge, measure the detour cost, then
-    // insert a replacement strictly cheaper than the detour and than any
-    // earlier step's replacement. The 0->neighbor cost is then `w` on the
-    // new epoch and on NO earlier one, so the exact assertion below
-    // proves the query ran at (or after, but nothing later exists) the
-    // epoch its preceding update future named.
-    service.SubmitUpdate(EdgeUpdate::Delete(0, neighbor)).get();
-    const Weight detour = OracleCost(*mdb.Snapshot().graph, 0, neighbor);
-    const Weight cheap = detour == kInfinity ? 1.0 : detour * 0.5;
-    const Weight w = cheap / static_cast<double>(step + 1);
-    const uint64_t epoch =
-        service.SubmitUpdate(EdgeUpdate::Insert(0, neighbor, w)).get();
-    EXPECT_GT(epoch, previous_epoch);
-    previous_epoch = epoch;
-    const Weight cost = service.SubmitShortestPath(0, neighbor).get();
-    EXPECT_NEAR(cost, w, 1e-12) << "step " << step;
+    uint64_t previous_epoch = 0;
+    for (int step = 1; step <= 5; ++step) {
+      // Remove every direct 0->neighbor edge, measure the detour cost,
+      // then insert a replacement strictly cheaper than the detour and
+      // than any earlier step's replacement. The 0->neighbor cost is then
+      // `w` on the new epoch and on NO earlier one, so the exact
+      // assertion below proves the query ran at (or after, but nothing
+      // later exists) the epoch its preceding update future named.
+      service.SubmitUpdate(EdgeUpdate::Delete(0, neighbor)).get();
+      const Weight detour = OracleCost(*mdb.Snapshot().graph, 0, neighbor);
+      const Weight cheap = detour == kInfinity ? 1.0 : detour * 0.5;
+      const Weight w = cheap / static_cast<double>(step + 1);
+      const uint64_t epoch =
+          service.SubmitUpdate(EdgeUpdate::Insert(0, neighbor, w)).get();
+      EXPECT_GT(epoch, previous_epoch);
+      previous_epoch = epoch;
+      const Weight cost = service.SubmitShortestPath(0, neighbor).get();
+      EXPECT_NEAR(cost, w, 1e-12) << "step " << step;
+    }
+    service.Shutdown();
+    const ServiceStats stats = service.Stats();
+    EXPECT_EQ(stats.updates, 10u);
+    EXPECT_GE(stats.update_epochs, 1u);
+    EXPECT_EQ(stats.completed, 5u);
   }
-  service.Shutdown();
-  const ServiceStats stats = service.Stats();
-  EXPECT_EQ(stats.updates, 10u);
-  EXPECT_GE(stats.update_epochs, 1u);
-  EXPECT_EQ(stats.completed, 5u);
 }
 
 // Updates through a backend without update support fail their future

@@ -12,13 +12,23 @@ in ``_qps`` — are gated: the job fails when any of them regresses by more
 than ``--threshold`` (default 25%) below the rolling median. Non-throughput
 metrics and improvements are reported but never fail the job.
 
+Baselines are keyed per **runner class** (``cpu<N>`` for N hardware
+threads): throughput measured on a 2-core runner is not a valid baseline
+for a 16-core one. ``--runner-class`` defaults to the current run's
+recorded ``runner_class`` field (falling back to ``cpu<os.cpu_count()>``).
+In the directory form, a ``<baseline>/<runner_class>/`` subdirectory is
+preferred when present; otherwise the flat directory is used and any run
+whose recorded ``runner_class`` differs from the current one is skipped
+(runs predating the field are kept — they were all recorded on the same
+CI runner class the subdirectory migration then pins down).
+
 A missing or unreadable baseline soft-warns and exits 0 (first run on a
 branch, cache eviction). When ``GITHUB_STEP_SUMMARY`` is set, a Markdown
 comparison table is appended to the job summary.
 
 Usage:
   check_bench_regression.py --baseline prev.json --current cur.json \
-      [--threshold 0.25] [--window 5]
+      [--threshold 0.25] [--window 5] [--runner-class cpu4]
   check_bench_regression.py --baseline baseline-history-dir/ --current cur.json
 """
 
@@ -37,23 +47,38 @@ def load(path):
     return doc
 
 
-def load_baselines(path, window):
+def load_baselines(path, window, runner_class):
     """Returns a list of baseline docs: [one] for a file, the newest
-    `window` runs (by filename order, which the CI writer keeps
-    monotonic) for a directory. A corrupt run file (e.g. truncated by a
-    cancelled CI job) is warned about and skipped, so one bad file does
-    not disable the gate while good history remains."""
+    `window` matching runs (by filename order, which the CI writer keeps
+    monotonic) for a directory. A `<path>/<runner_class>/` subdirectory
+    is preferred when it exists; in the flat form, runs recorded on a
+    DIFFERENT runner class are filtered out (runs without the field are
+    kept for migration continuity). A corrupt run file (e.g. truncated
+    by a cancelled CI job) is warned about and skipped, so one bad file
+    does not disable the gate while good history remains."""
     if os.path.isdir(path):
-        names = sorted(n for n in os.listdir(path) if n.endswith(".json"))
+        class_dir = os.path.join(path, runner_class)
+        scan = class_dir if os.path.isdir(class_dir) else path
+        names = sorted(n for n in os.listdir(scan) if n.endswith(".json"))
         baselines = []
-        for name in names[-window:]:
+        for name in reversed(names):
+            if len(baselines) == window:
+                break
             try:
-                baselines.append(load(os.path.join(path, name)))
+                doc = load(os.path.join(scan, name))
             except (OSError, ValueError) as err:
                 print(f"::warning::skipping unreadable baseline run "
                       f"{name}: {err}")
+                continue
+            recorded = doc.get("runner_class")
+            if recorded is not None and recorded != runner_class:
+                print(f"::warning::skipping baseline run {name}: recorded "
+                      f"on {recorded}, current runner is {runner_class}")
+                continue
+            baselines.append(doc)
         if not baselines:
-            raise ValueError(f"{path}: no usable baseline runs recorded yet")
+            raise ValueError(
+                f"{scan}: no usable baseline runs for {runner_class}")
         return baselines
     return [load(path)]
 
@@ -81,13 +106,21 @@ def main():
     parser.add_argument("--window", type=int, default=5,
                         help="max prior runs folded into the rolling median "
                              "(directory baselines only)")
+    parser.add_argument("--runner-class", default=None,
+                        help="hardware class key for the baseline history "
+                             "(default: the current run's recorded "
+                             "runner_class, else cpu<os.cpu_count()>)")
     args = parser.parse_args()
 
     current = load(args.current)
     name = current.get("benchmark", args.current)
+    runner_class = (args.runner_class
+                    or current.get("runner_class")
+                    or f"cpu{os.cpu_count() or 1}")
 
     try:
-        baselines = load_baselines(args.baseline, max(1, args.window))
+        baselines = load_baselines(args.baseline, max(1, args.window),
+                                   runner_class)
     except (OSError, ValueError) as err:
         print(f"::warning::{name}: no usable baseline ({err}); "
               "recording current run as the new baseline")
@@ -110,8 +143,8 @@ def main():
         rows.append((key, base, cur, f"{change:+.1%} {status}"))
 
     width = max(len(r[0]) for r in rows) if rows else 10
-    print(f"{name}: current vs rolling median of {len(baselines)} run(s) "
-          f"(gate: *_qps within {args.threshold:.0%})")
+    print(f"{name}: current vs rolling median of {len(baselines)} "
+          f"{runner_class} run(s) (gate: *_qps within {args.threshold:.0%})")
     for key, base, cur, status in rows:
         base_s = "-" if base is None else f"{base:12.1f}"
         print(f"  {key:<{width}}  {base_s:>12} -> {cur:12.1f}  {status}")
@@ -120,7 +153,8 @@ def main():
     if summary_path:
         with open(summary_path, "a", encoding="utf-8") as f:
             f.write(f"### {name} perf gate "
-                    f"(median of {len(baselines)} run(s))\n\n")
+                    f"(median of {len(baselines)} {runner_class} "
+                    f"run(s))\n\n")
             f.write("| metric | baseline | current | change |\n")
             f.write("|---|---|---|---|\n")
             for key, base, cur, status in rows:
