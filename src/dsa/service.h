@@ -327,6 +327,16 @@ class QueryService {
   /// future is fulfilled and every flush worker has exited. Idempotent.
   void Shutdown();
 
+  /// True once Shutdown() has begun (admission may already be rejecting).
+  /// The network edge (net/server.h) checks this to answer requests that
+  /// race a shutdown with a clean error frame instead of letting them hit
+  /// the admission path's exception; queries admitted before the flag
+  /// flipped are still drained and answered normally — that split is the
+  /// daemon's shutdown-drain contract.
+  bool IsShuttingDown() const {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
   /// Snapshot of the accounting so far.
   ServiceStats Stats() const;
 

@@ -7,13 +7,18 @@
 
 namespace tcf {
 
-SiteNetwork::SiteNetwork(const Fragmentation* frag, LocalEngine engine)
+SiteNetwork::SiteNetwork(const Fragmentation* frag, LocalEngine engine,
+                         SiteTransportKind transport)
     : frag_(frag), engine_(engine) {
   TCF_CHECK(frag != nullptr);
   complementary_ = PrecomputeComplementary(*frag_);
-  mailboxes_.reserve(frag_->NumFragments());
-  for (FragmentId f = 0; f < frag_->NumFragments(); ++f) {
-    mailboxes_.push_back(std::make_unique<Channel<Subquery>>());
+  if (transport == SiteTransportKind::kSocket) {
+    Result<std::unique_ptr<SiteTransport>> made =
+        MakeSocketSiteTransport(frag_->NumFragments());
+    TCF_CHECK_MSG(made.ok(), made.status().ToString());
+    transport_ = std::move(made).value();
+  } else {
+    transport_ = MakeInProcessSiteTransport(frag_->NumFragments());
   }
   sites_.reserve(frag_->NumFragments());
   for (FragmentId f = 0; f < frag_->NumFragments(); ++f) {
@@ -24,28 +29,24 @@ SiteNetwork::SiteNetwork(const Fragmentation* frag, LocalEngine engine)
 }
 
 SiteNetwork::~SiteNetwork() {
-  for (auto& mailbox : mailboxes_) {
-    Subquery poison;
-    poison.shutdown = true;
-    mailbox->Send(poison);
-    mailbox->Close();
-  }
+  transport_->Shutdown();
   for (auto& site : sites_) site.join();
 }
 
 void SiteNetwork::SiteLoop(FragmentId fragment) {
   while (true) {
-    std::optional<Subquery> message = mailboxes_[fragment]->Receive();
-    if (!message.has_value() || message->shutdown) return;
+    std::optional<SiteWireSubquery> message =
+        transport_->ReceiveSubquery(fragment);
+    if (!message.has_value()) return;  // transport shut down
     // Phase 1: purely local work — the site touches only its own fragment
     // and its own complementary relation; no other site is contacted.
     LocalQueryResult local =
         RunLocalQuery(*frag_, &complementary_, message->spec, engine_);
-    SiteResult result;
+    SiteWireResult result;
     result.request_id = message->request_id;
     result.fragment = fragment;
     result.paths = std::move(local.paths);
-    coordinator_inbox_.Send(std::move(result));
+    transport_->SendResult(fragment, std::move(result));
   }
 }
 
@@ -88,10 +89,10 @@ std::vector<Weight> SiteNetwork::BatchShortestPathCosts(
   const uint64_t base_request_id = next_request_id_;
   next_request_id_ += flat_specs.size();
   for (size_t s = 0; s < flat_specs.size(); ++s) {
-    Subquery message;
+    SiteWireSubquery message;
     message.request_id = base_request_id + s;
     message.spec = flat_specs[s];
-    mailboxes_[flat_specs[s].fragment]->Send(std::move(message));
+    transport_->SendSubquery(flat_specs[s].fragment, std::move(message));
     ++traffic->subquery_messages;
   }
 
@@ -100,7 +101,7 @@ std::vector<Weight> SiteNetwork::BatchShortestPathCosts(
   std::vector<LocalQueryResult> results(flat_specs.size());
   size_t outstanding = flat_specs.size();
   while (outstanding > 0) {
-    std::optional<SiteResult> result = coordinator_inbox_.Receive();
+    std::optional<SiteWireResult> result = transport_->ReceiveResult();
     TCF_CHECK(result.has_value());
     ++traffic->result_messages;
     traffic->result_tuples += result->paths.size();

@@ -18,11 +18,18 @@
 
 #include "dsa/chains.h"
 #include "dsa/local_query.h"
-#include "util/channel.h"
+#include "net/site_transport.h"
 
 namespace tcf {
 
 class ThreadPool;
+
+/// Which fabric carries the coordinator/site messages (the protocol on
+/// top is identical — see net/site_transport.h).
+enum class SiteTransportKind {
+  kInProcess,  // per-site Channel mailboxes (simulation default)
+  kSocket,     // one loopback TCP connection per site, real wire frames
+};
 
 /// Communication accounting for one query, by protocol phase.
 struct SiteTraffic {
@@ -45,8 +52,12 @@ class SiteNetwork {
   /// Spawns one thread per fragment. `frag` must outlive the network; the
   /// complementary information is precomputed here (one copy per site in
   /// a real deployment; shared read-only storage in the simulation).
+  /// `transport` picks the message fabric; kSocket runs every subquery
+  /// and result through the tcfrag wire codec over loopback TCP.
   explicit SiteNetwork(const Fragmentation* frag,
-                       LocalEngine engine = LocalEngine::kDijkstra);
+                       LocalEngine engine = LocalEngine::kDijkstra,
+                       SiteTransportKind transport =
+                           SiteTransportKind::kInProcess);
   ~SiteNetwork();
 
   SiteNetwork(const SiteNetwork&) = delete;
@@ -72,24 +83,15 @@ class SiteNetwork {
       SiteTraffic* traffic = nullptr);
 
  private:
-  struct Subquery {
-    uint64_t request_id = 0;
-    LocalQuerySpec spec;
-    bool shutdown = false;
-  };
-  struct SiteResult {
-    uint64_t request_id = 0;
-    FragmentId fragment = 0;
-    Relation paths;
-  };
-
   void SiteLoop(FragmentId fragment);
 
   const Fragmentation* frag_;
   LocalEngine engine_;
   ComplementaryInfo complementary_;
-  std::vector<std::unique_ptr<Channel<Subquery>>> mailboxes_;
-  Channel<SiteResult> coordinator_inbox_;
+  /// The message fabric (mailboxes or loopback sockets); every subquery
+  /// and result crosses it — SiteNetwork itself never hands a site a
+  /// pointer.
+  std::unique_ptr<SiteTransport> transport_;
   std::vector<std::thread> sites_;
 
   /// Serializes the coordinator protocol (mailbox fan-out + inbox drain):

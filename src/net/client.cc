@@ -1,0 +1,210 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+
+namespace tcf {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                ClientOptions options) {
+  Result<Socket> socket = ConnectTcp(host, port);
+  if (!socket.ok()) return socket.status();
+  return std::unique_ptr<Client>(
+      new Client(std::move(socket).value(), options));
+}
+
+Client::Client(Socket socket, ClientOptions options)
+    : socket_(std::move(socket)), options_(options) {
+  demux_thread_ = std::thread([this]() { DemuxLoop(); });
+}
+
+Client::~Client() {
+  Close();
+  if (demux_thread_.joinable()) demux_thread_.join();
+}
+
+void Client::Close() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  // Wakes the demux thread out of recv; it fails whatever is still
+  // pending on its way out.
+  socket_.ShutdownBoth();
+}
+
+void Client::FailCall(PendingCall* call, const Status& status) {
+  if (call->expect == MessageType::kQueryResponse) {
+    call->cost.set_value(status);
+  } else {
+    call->epoch.set_value(status);
+  }
+}
+
+void Client::FailAllPending(const Status& status) {
+  std::unordered_map<uint64_t, PendingCall> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    orphaned.swap(pending_);
+    closed_ = true;
+  }
+  for (auto& [id, call] : orphaned) FailCall(&call, status);
+}
+
+void Client::Dispatch(MessageType type, const std::string& payload,
+                      PendingCall call) {
+  const uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (closed_) {
+      FailCall(&call, Status::IOError("client is closed"));
+      return;
+    }
+    pending_.emplace(id, std::move(call));
+  }
+  Status written;
+  {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    written = WriteFrame(socket_, type, id, payload);
+  }
+  if (!written.ok()) {
+    // Pull the call back out (the demux thread may already have failed
+    // everything if it saw the broken socket first).
+    std::optional<PendingCall> orphan;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        orphan = std::move(it->second);
+        pending_.erase(it);
+      }
+    }
+    if (orphan.has_value()) FailCall(&*orphan, written);
+  }
+}
+
+std::future<Result<Weight>> Client::SubmitShortestPath(NodeId from,
+                                                       NodeId to) {
+  PendingCall call;
+  call.expect = MessageType::kQueryResponse;
+  std::future<Result<Weight>> future = call.cost.get_future();
+  Dispatch(MessageType::kQueryRequest,
+           EncodeQueryRequest({from, to, QueryKind::kCost}), std::move(call));
+  return future;
+}
+
+Result<Weight> Client::ShortestPathCost(NodeId from, NodeId to) {
+  return SubmitShortestPath(from, to).get();
+}
+
+std::future<Result<uint64_t>> Client::SubmitUpdate(const EdgeUpdate& update) {
+  PendingCall call;
+  call.expect = MessageType::kUpdateResponse;
+  std::future<Result<uint64_t>> future = call.epoch.get_future();
+  Dispatch(MessageType::kUpdateRequest, EncodeUpdateRequest({update}),
+           std::move(call));
+  return future;
+}
+
+Status Client::Ping() {
+  PendingCall call;
+  call.expect = MessageType::kPong;
+  std::future<Result<uint64_t>> future = call.epoch.get_future();
+  Dispatch(MessageType::kPing, "", std::move(call));
+  Result<uint64_t> result = future.get();
+  return result.ok() ? Status::OK() : result.status();
+}
+
+void Client::CompleteCall(PendingCall* call, MessageType type,
+                          std::string_view payload) {
+  if (type == MessageType::kError) {
+    ErrorResponseMsg err;
+    Status decoded = DecodeErrorResponse(payload, &err);
+    FailCall(call, decoded.ok() ? err.ToStatus() : decoded);
+    return;
+  }
+  if (type != call->expect) {
+    FailCall(call, Status::Internal(
+                       std::string("response type mismatch: expected ") +
+                       MessageTypeName(call->expect) + ", got " +
+                       MessageTypeName(type)));
+    return;
+  }
+  switch (type) {
+    case MessageType::kQueryResponse: {
+      QueryResponseMsg msg;
+      Status decoded = DecodeQueryResponse(payload, &msg);
+      if (decoded.ok()) {
+        call->cost.set_value(msg.cost);
+      } else {
+        FailCall(call, decoded);
+      }
+      break;
+    }
+    case MessageType::kUpdateResponse: {
+      UpdateResponseMsg msg;
+      Status decoded = DecodeUpdateResponse(payload, &msg);
+      if (decoded.ok()) {
+        call->epoch.set_value(msg.epoch);
+      } else {
+        FailCall(call, decoded);
+      }
+      break;
+    }
+    case MessageType::kPong:
+      call->epoch.set_value(uint64_t{0});
+      break;
+    default:
+      FailCall(call, Status::Internal("unexpected response type"));
+      break;
+  }
+}
+
+void Client::DemuxLoop() {
+  for (;;) {
+    Result<Frame> read = ReadFrame(socket_, options_.max_payload_bytes);
+    if (!read.ok()) {
+      FailAllPending(read.status().code() == StatusCode::kNotFound
+                         ? Status::IOError("connection closed by server")
+                         : read.status());
+      return;
+    }
+    const Frame& frame = read.value();
+    const uint64_t id = frame.header.request_id;
+
+    // Request id 0 is the server's connection-level death notice (the
+    // socket closes right behind it): fail everything with its message.
+    if (id == 0 && frame.header.type == MessageType::kError) {
+      ErrorResponseMsg err;
+      Status decoded = DecodeErrorResponse(frame.payload_view(), &err);
+      FailAllPending(decoded.ok() ? err.ToStatus() : decoded);
+      return;
+    }
+
+    std::optional<PendingCall> call;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        call = std::move(it->second);
+        pending_.erase(it);
+      }
+    }
+    if (!call.has_value()) {
+      // A response for a request we never made: the stream cannot be
+      // trusted anymore.
+      FailAllPending(Status::Internal("response for unknown request id " +
+                                      std::to_string(id)));
+      socket_.ShutdownBoth();
+      return;
+    }
+    CompleteCall(&*call, frame.header.type, frame.payload_view());
+  }
+}
+
+}  // namespace tcf

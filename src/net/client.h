@@ -1,0 +1,104 @@
+// Client side of the tcfrag wire protocol: one TCP connection to a
+// tcfragd server, with both a blocking RPC surface and a PIPELINED async
+// surface — Submit* returns immediately with a std::future, any number of
+// requests may be in flight, and a background demux thread matches
+// response frames back to their futures by request id (responses may
+// arrive in any order). All failures — transport errors, per-request
+// kError frames, a dropped connection — surface as non-OK Status values
+// inside the returned Result; the client never throws and a broken
+// connection fails every in-flight future instead of hanging it.
+//
+// Thread-safety: all public methods may be called from any number of
+// threads (sends are serialized internally; the demux map has its own
+// lock).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "dsa/batch.h"
+#include "dsa/maintenance.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace tcf {
+
+struct ClientOptions {
+  /// Per-frame payload cap for inbound response frames.
+  size_t max_payload_bytes = 1 << 20;
+};
+
+class Client {
+ public:
+  /// Connects and starts the demux thread.
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port,
+                                                 ClientOptions options = {});
+  /// Closes (failing any in-flight requests) and joins the demux thread.
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Pipelined shortest-path cost query: returns at once, the future
+  /// resolves when the response frame arrives. The value is the cost
+  /// (kInfinity when unconnected) or the server's error as a Status.
+  std::future<Result<Weight>> SubmitShortestPath(NodeId from, NodeId to);
+
+  /// Blocking wrapper: one round trip.
+  Result<Weight> ShortestPathCost(NodeId from, NodeId to);
+
+  /// Pipelined edge update; resolves to the maintenance epoch that
+  /// applied it (see QueryService::SubmitUpdate for the ordering
+  /// guarantee the epoch conveys).
+  std::future<Result<uint64_t>> SubmitUpdate(const EdgeUpdate& update);
+
+  /// Blocking liveness probe.
+  Status Ping();
+
+  /// Half-closes the connection and fails every in-flight future with an
+  /// IOError. Idempotent; implied by the destructor.
+  void Close();
+
+ private:
+  Client(Socket socket, ClientOptions options);
+
+  /// One in-flight request awaiting its response frame.
+  struct PendingCall {
+    MessageType expect = MessageType::kPong;
+    std::promise<Result<Weight>> cost;     // expect == kQueryResponse
+    std::promise<Result<uint64_t>> epoch;  // kUpdateResponse and kPong
+  };
+
+  /// Registers the call under a fresh request id and writes the frame;
+  /// on a write failure the call is immediately failed instead.
+  void Dispatch(MessageType type, const std::string& payload,
+                PendingCall call);
+  void DemuxLoop();
+  /// Fails `call` (whatever its expectation) with `status`.
+  static void FailCall(PendingCall* call, const Status& status);
+  /// Fulfills `call` from a received frame payload.
+  void CompleteCall(PendingCall* call, MessageType type,
+                    std::string_view payload);
+  void FailAllPending(const Status& status);
+
+  Socket socket_;
+  ClientOptions options_;
+  std::thread demux_thread_;
+
+  std::mutex send_mutex_;  // serializes socket writes
+
+  std::mutex state_mutex_;  // guards the two fields below
+  std::unordered_map<uint64_t, PendingCall> pending_;
+  bool closed_ = false;
+
+  std::atomic<uint64_t> next_request_id_{1};
+};
+
+}  // namespace tcf

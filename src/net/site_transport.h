@@ -1,0 +1,71 @@
+// The transport seam under dsa/sites.h: the coordinator/site message
+// protocol (one subquery message per (fragment, selection), one result
+// message back, nothing site-to-site) expressed as an interface so the
+// SAME SiteNetwork protocol logic can run over two fabrics:
+//
+//   - MakeInProcessSiteTransport: per-site Channel mailboxes plus a
+//     shared coordinator inbox — the original simulation fabric.
+//   - MakeSocketSiteTransport: one loopback TCP connection per site,
+//     messages as kSiteSubquery / kSiteResult frames of the tcfrag wire
+//     protocol (net/frame.h, net/protocol.h) — the deployment shape the
+//     paper's PRISMA target implies, with real serialization on every
+//     hop. tests/sites_test.cc asserts answer-equality between the two.
+//
+// Threading contract (what SiteNetwork provides): one coordinator thread
+// at a time drives SendSubquery/ReceiveResult (serialized by its
+// coordinator mutex); each site f has exactly one thread calling
+// ReceiveSubquery(f)/SendResult(f). Shutdown() may race with blocked
+// receivers on either side and unblocks them all with nullopt.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "dsa/local_query.h"
+#include "util/status.h"
+
+namespace tcf {
+
+/// Coordinator -> site: run this local query, tag the answer with the id.
+struct SiteWireSubquery {
+  uint64_t request_id = 0;
+  LocalQuerySpec spec;
+};
+
+/// Site -> coordinator: the phase-1 result relation for one subquery.
+struct SiteWireResult {
+  uint64_t request_id = 0;
+  FragmentId fragment = 0;
+  Relation paths;
+};
+
+class SiteTransport {
+ public:
+  virtual ~SiteTransport() = default;
+
+  // -- coordinator side --------------------------------------------------
+  virtual void SendSubquery(FragmentId site, SiteWireSubquery message) = 0;
+  /// Blocks for the next result from ANY site; nullopt after Shutdown().
+  virtual std::optional<SiteWireResult> ReceiveResult() = 0;
+
+  // -- site side ---------------------------------------------------------
+  /// Blocks for the next subquery addressed to `site`; nullopt means the
+  /// transport shut down and the site loop should exit.
+  virtual std::optional<SiteWireSubquery> ReceiveSubquery(FragmentId site) = 0;
+  virtual void SendResult(FragmentId site, SiteWireResult message) = 0;
+
+  /// Unblocks every receiver on both sides with nullopt. Idempotent; must
+  /// only run when no protocol round is in flight (the SiteNetwork
+  /// destructor, which holds that guarantee by construction).
+  virtual void Shutdown() = 0;
+};
+
+std::unique_ptr<SiteTransport> MakeInProcessSiteTransport(size_t num_sites);
+
+/// Builds num_sites loopback socket pairs. Fails (without leaking threads
+/// or fds) if loopback listen/connect fails.
+Result<std::unique_ptr<SiteTransport>> MakeSocketSiteTransport(
+    size_t num_sites);
+
+}  // namespace tcf

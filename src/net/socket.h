@@ -1,0 +1,73 @@
+// A thin RAII layer over POSIX TCP sockets — just enough for the loopback
+// daemon, the client library, and the socket site-transport: listen,
+// accept, connect, full reads/writes, and half-close. All failures travel
+// as Status/Result values (util/status.h); nothing here throws and nothing
+// aborts on peer misbehavior.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace tcf {
+
+/// Move-only owner of one file descriptor. Closing is idempotent.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void Close();
+
+  /// shutdown(2) the read side: a thread blocked in recv on this socket
+  /// wakes with EOF. The fd stays open (Close still required).
+  void ShutdownRead() const;
+  /// shutdown(2) both directions: wakes blocked readers AND unblocks a
+  /// thread parked in accept(2) on a listening socket.
+  void ShutdownBoth() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `address:port` (port 0 picks an ephemeral port —
+/// read it back with LocalPort). The daemon and all tests bind loopback.
+Result<Socket> ListenTcp(const std::string& address, uint16_t port);
+
+/// The port a bound socket actually listens on.
+Result<uint16_t> LocalPort(const Socket& listener);
+
+/// Blocks for one inbound connection. An error after ShutdownBoth() on
+/// the listener is the normal stop path.
+Result<Socket> AcceptConnection(const Socket& listener);
+
+/// Blocking connect to `host:port` (numeric address or hostname).
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Writes all `size` bytes (retrying short writes and EINTR).
+Status WriteAll(const Socket& socket, const void* data, size_t size);
+
+/// Reads until `size` bytes or EOF. Returns the byte count: `size` on
+/// success, 0 when the peer closed before the first byte (clean EOF), a
+/// short count when it closed mid-read; socket errors come back as a
+/// non-OK Status.
+Result<size_t> ReadFull(const Socket& socket, void* data, size_t size);
+
+}  // namespace tcf

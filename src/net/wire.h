@@ -1,0 +1,101 @@
+// Bounds-checked binary encoding primitives for the wire protocol. Every
+// multi-byte integer travels little-endian at a fixed width; the reader is
+// a cursor over a caller-owned buffer that can NEVER over-read — every
+// Read* checks the remaining byte count first and fails by returning false
+// instead of touching out-of-range memory. That property is what the frame
+// fuzzer in tests/net_protocol_test.cc leans on: arbitrary hostile bytes
+// flow through these readers under ASan/UBSan and must only ever produce a
+// clean decode failure.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace tcf {
+
+/// Append-only encoder; the buffer is a std::string so it can be handed to
+/// socket writers without a copy.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v) { PutLittleEndian(v); }
+  void PutU32(uint32_t v) { PutLittleEndian(v); }
+  void PutU64(uint64_t v) { PutLittleEndian(v); }
+  /// IEEE-754 doubles travel as their 8-byte representation (the library
+  /// already requires IEEE doubles for kInfinity semantics).
+  void PutF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+  void PutBytes(std::string_view bytes) { buffer_.append(bytes); }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string&& TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  template <typename T>
+  void PutLittleEndian(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string buffer_;
+};
+
+/// Cursor over `[data, data + size)`. Does not own the bytes; the caller
+/// keeps them alive for the reader's lifetime.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(std::string_view bytes)
+      : data_(reinterpret_cast<const uint8_t*>(bytes.data())),
+        size_(bytes.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+  bool ReadU8(uint8_t* out) {
+    if (remaining() < 1) return false;
+    *out = data_[pos_++];
+    return true;
+  }
+  bool ReadU16(uint16_t* out) { return ReadLittleEndian(out); }
+  bool ReadU32(uint32_t* out) { return ReadLittleEndian(out); }
+  bool ReadU64(uint64_t* out) { return ReadLittleEndian(out); }
+  bool ReadF64(double* out) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(out, &bits, sizeof(bits));
+    return true;
+  }
+  bool ReadBytes(size_t n, std::string* out) {
+    if (remaining() < n) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  template <typename T>
+  bool ReadLittleEndian(T* out) {
+    if (remaining() < sizeof(T)) return false;
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    *out = v;
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tcf

@@ -315,6 +315,129 @@ TEST(SiteNetwork, ConcurrentQueriesFromManyThreads) {
   EXPECT_EQ(mismatches.load(), 0u);
 }
 
+// ------------------------------------------------- socket site transport
+
+// The same protocol over loopback TCP (net/site_transport.h): every
+// subquery and result crosses a real socket as a wire frame. The contract
+// is answer-equality with the in-process fabric — the transport must be
+// invisible to the protocol.
+
+TEST(SiteNetworkSocket, AnswersMatchInProcessTransport) {
+  auto t = MakeTransport(21);
+  LinearOptions lopts;
+  lopts.num_fragments = 4;
+  Fragmentation frag = LinearFragmentation(t.graph, lopts).fragmentation;
+  SiteNetwork in_process(&frag, LocalEngine::kDijkstra,
+                         SiteTransportKind::kInProcess);
+  SiteNetwork socket_net(&frag, LocalEngine::kDijkstra,
+                         SiteTransportKind::kSocket);
+
+  Rng rng(23);
+  for (int i = 0; i < 16; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes()));
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes()));
+    const Weight want = in_process.ShortestPathCost(s, u);
+    const Weight got = socket_net.ShortestPathCost(s, u);
+    if (want == kInfinity) {
+      EXPECT_EQ(got, kInfinity) << s << "->" << u;
+    } else {
+      EXPECT_NEAR(got, want, 1e-12) << s << "->" << u;
+    }
+    const Weight oracle = s == u ? 0.0 : Dijkstra(t.graph, s).distance[u];
+    if (oracle == kInfinity) {
+      EXPECT_EQ(got, kInfinity) << s << "->" << u;
+    } else {
+      EXPECT_NEAR(got, oracle, 1e-9) << s << "->" << u;
+    }
+  }
+}
+
+TEST(SiteNetworkSocket, BatchMatchesInProcessTransport) {
+  auto t = MakeTransport(22);
+  BondEnergyOptions bopts;
+  bopts.num_fragments = 4;
+  Fragmentation frag = BondEnergyFragmentation(t.graph, bopts);
+  SiteNetwork in_process(&frag, LocalEngine::kDijkstra,
+                         SiteTransportKind::kInProcess);
+  SiteNetwork socket_net(&frag, LocalEngine::kDijkstra,
+                         SiteTransportKind::kSocket);
+
+  Rng rng(29);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  for (int i = 0; i < 20; ++i) {
+    queries.emplace_back(
+        static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes())),
+        static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes())));
+  }
+  queries.emplace_back(5, 5);          // trivial
+  queries.push_back(queries.front());  // repeat: exercises dedup + sharing
+
+  SiteTraffic in_process_traffic, socket_traffic;
+  const std::vector<Weight> want =
+      in_process.BatchShortestPathCosts(queries, &in_process_traffic);
+  const std::vector<Weight> got =
+      socket_net.BatchShortestPathCosts(queries, &socket_traffic);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (want[i] == kInfinity) {
+      EXPECT_EQ(got[i], kInfinity) << "query " << i;
+    } else {
+      EXPECT_NEAR(got[i], want[i], 1e-12) << "query " << i;
+    }
+  }
+  // Same protocol, same plan, same fabric-independent message count.
+  EXPECT_EQ(socket_traffic.subquery_messages,
+            in_process_traffic.subquery_messages);
+  EXPECT_EQ(socket_traffic.result_messages,
+            in_process_traffic.result_messages);
+  EXPECT_EQ(socket_traffic.inter_site_messages, 0u);
+}
+
+TEST(SiteNetworkSocket, ConcurrentQueriesMatchOracle) {
+  auto t = MakeTransport(24);
+  LinearOptions lopts;
+  lopts.num_fragments = 3;
+  Fragmentation frag = LinearFragmentation(t.graph, lopts).fragmentation;
+  SiteNetwork net(&frag, LocalEngine::kDijkstra, SiteTransportKind::kSocket);
+
+  Rng rng(31);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  std::vector<Weight> expected;
+  for (int i = 0; i < 16; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes()));
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes()));
+    queries.emplace_back(s, u);
+    expected.push_back(s == u ? 0.0 : Dijkstra(t.graph, s).distance[u]);
+  }
+
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t th = 0; th < 4; ++th) {
+    threads.emplace_back([&, th]() {
+      if (th % 2 == 0) {
+        for (size_t i = 0; i < queries.size(); ++i) {
+          const size_t j = (i + th * 3) % queries.size();
+          const Weight got =
+              net.ShortestPathCost(queries[j].first, queries[j].second);
+          if (!(got == expected[j] || std::abs(got - expected[j]) < 1e-9)) {
+            ++mismatches;
+          }
+        }
+      } else {
+        const std::vector<Weight> got = net.BatchShortestPathCosts(queries);
+        for (size_t j = 0; j < queries.size(); ++j) {
+          if (!(got[j] == expected[j] ||
+                std::abs(got[j] - expected[j]) < 1e-9)) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
 TEST(SiteNetwork, ManySequentialQueries) {
   auto t = MakeTransport(6);
   LinearOptions lopts;

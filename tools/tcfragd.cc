@@ -1,0 +1,162 @@
+// tcfragd — the tcfrag daemon: a self-contained TCP server exposing a
+// fragmented transitive-closure database over the tcfrag wire protocol
+// (src/net/). It generates a transportation graph (Sec. 4.1 of the
+// paper), fragments it, builds a MaintainedDatabase (so edge updates
+// work), and serves pipelined shortest-path queries and updates through a
+// QueryService behind net::Server until SIGINT/SIGTERM.
+//
+//   tcfragd [--port N] [--bind ADDR] [--clusters N]
+//           [--nodes-per-cluster N] [--edges-per-cluster N]
+//           [--fragments N] [--seed N] [--max-batch N]
+//           [--flush-workers N] [--shards N]
+//
+// Defaults serve the Table 1 transportation workload (4 clusters x 25
+// nodes) on 127.0.0.1:7411. Talk to it with net/client.h — see
+// examples/remote_queries.cc.
+//
+// Shutdown ordering matters and is deliberate: the server stops FIRST
+// (drains every in-flight reply onto the wire), the service second — the
+// order the shutdown-drain contract in net/server.h prescribes.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dsa/maintenance.h"
+#include "dsa/service.h"
+#include "fragment/linear.h"
+#include "graph/generator.h"
+#include "net/server.h"
+#include "util/rng.h"
+
+using namespace tcf;
+
+namespace {
+
+struct Flags {
+  uint16_t port = 7411;
+  std::string bind = "127.0.0.1";
+  size_t clusters = 4;
+  size_t nodes_per_cluster = 25;
+  double edges_per_cluster = 100.0;
+  size_t fragments = 4;
+  uint64_t seed = 7;
+  size_t max_batch = 64;
+  size_t flush_workers = 0;  // 0 = one per hardware thread
+  size_t shards = 4;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port N] [--bind ADDR] [--clusters N]\n"
+      "          [--nodes-per-cluster N] [--edges-per-cluster N]\n"
+      "          [--fragments N] [--seed N] [--max-batch N]\n"
+      "          [--flush-workers N] [--shards N]\n",
+      argv0);
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--port" && (v = next())) {
+      flags->port = static_cast<uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--bind" && (v = next())) {
+      flags->bind = v;
+    } else if (arg == "--clusters" && (v = next())) {
+      flags->clusters = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--nodes-per-cluster" && (v = next())) {
+      flags->nodes_per_cluster = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--edges-per-cluster" && (v = next())) {
+      flags->edges_per_cluster = std::strtod(v, nullptr);
+    } else if (arg == "--fragments" && (v = next())) {
+      flags->fragments = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed" && (v = next())) {
+      flags->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-batch" && (v = next())) {
+      flags->max_batch = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--flush-workers" && (v = next())) {
+      flags->flush_workers = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--shards" && (v = next())) {
+      flags->shards = std::strtoull(v, nullptr, 10);
+    } else {
+      Usage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  // Block the termination signals BEFORE any thread spawns, so every
+  // thread inherits the mask and sigwait below is the only consumer.
+  sigset_t stop_signals;
+  sigemptyset(&stop_signals);
+  sigaddset(&stop_signals, SIGINT);
+  sigaddset(&stop_signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
+
+  Rng rng(flags.seed);
+  TransportationGraphOptions gen;
+  gen.num_clusters = flags.clusters;
+  gen.nodes_per_cluster = flags.nodes_per_cluster;
+  gen.target_edges_per_cluster = flags.edges_per_cluster;
+  TransportationGraph t = GenerateTransportationGraph(gen, &rng);
+  LinearOptions lopts;
+  lopts.num_fragments = flags.fragments;
+  const Fragmentation frag =
+      LinearFragmentation(t.graph, lopts).fragmentation;
+  MaintainedDatabase mdb = MaintainedDatabase::FromFragmentation(frag);
+  std::printf("tcfragd: %zu nodes, %zu edges, %zu fragments (seed %llu)\n",
+              t.graph.NumNodes(), t.graph.NumEdges(), frag.NumFragments(),
+              static_cast<unsigned long long>(flags.seed));
+
+  ServiceOptions sopts;
+  sopts.max_batch = flags.max_batch;
+  sopts.flush_workers = flags.flush_workers;
+  sopts.admission_shards = flags.shards;
+  QueryService service(&mdb, sopts);
+
+  ServerOptions server_opts;
+  server_opts.bind_address = flags.bind;
+  server_opts.port = flags.port;
+  Server server(&service, server_opts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "tcfragd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("tcfragd listening on %s:%u\n", flags.bind.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  int signal_number = 0;
+  sigwait(&stop_signals, &signal_number);
+  std::printf("tcfragd: caught %s, draining\n",
+              signal_number == SIGINT ? "SIGINT" : "SIGTERM");
+
+  // Server first (drain in-flight replies onto the wire), service second.
+  server.Stop();
+  service.Shutdown();
+
+  const ServerStats stats = server.stats();
+  std::printf(
+      "tcfragd: served %llu requests (%llu ok, %llu error) over %llu "
+      "connections (%llu dropped)\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.replies_ok),
+      static_cast<unsigned long long>(stats.replies_error),
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.connections_dropped));
+  return 0;
+}
