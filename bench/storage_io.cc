@@ -1,0 +1,226 @@
+// Save/open cost of the paged database format (storage/database_io.h) —
+// the "open, don't rebuild" promise of ROADMAP item 4 made measurable. On
+// a transportation graph of few large clusters (default 8 x 300):
+//
+//   1. rebuild  — fragment the graph and build a DsaDatabase from scratch
+//                 (the full complementary precompute every restart pays
+//                 without storage);
+//   2. save     — serialize it to a paged, checksummed file;
+//   3. open     — reopen through the buffer-pool path and through the mmap
+//                 fast path, full checksum verification on;
+//   4. equality — a randomized query sweep must answer identically on the
+//                 fresh and both reopened databases (exit 1 on mismatch);
+//   5. serve    — query throughput on the mmap-reopened database, the
+//                 gated "did reopening cost us anything at serve time"
+//                 series.
+//
+// `storage_io [clusters [nodes-per-cluster]]` scales the graph; `--json
+// <path>` writes the perf-gate metrics (gated key: reopen_query_qps;
+// save/open/rebuild wall times and the open-vs-rebuild speedup ride along
+// ungated); `--db <path>` places the database file (kept afterwards)
+// instead of a scratch file (deleted); `--gate-open-speedup` exits 1
+// unless mmap open beats rebuild by >= 5x — the acceptance bar CI enforces.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "fragment/node_partition.h"
+#include "storage/database_io.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace tcf;
+using namespace tcf::bench;
+
+namespace {
+
+constexpr double kRequiredSpeedup = 5.0;
+
+struct OpenTiming {
+  double seconds = 0.0;
+  StoredDatabase stored;
+};
+
+OpenTiming TimedOpen(const std::string& path, bool use_mmap) {
+  OpenOptions options;
+  options.use_mmap = use_mmap;
+  WallTimer timer;
+  Result<StoredDatabase> opened = OpenDatabase(path, options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "storage_io: open %s (%s): %s\n", path.c_str(),
+                 use_mmap ? "mmap" : "pool",
+                 opened.status().ToString().c_str());
+    std::exit(1);
+  }
+  return OpenTiming{timer.ElapsedSeconds(), std::move(opened).value()};
+}
+
+/// Random query pairs, fixed seed — the same sweep every run.
+std::vector<std::pair<NodeId, NodeId>> SweepPairs(size_t num_nodes,
+                                                  size_t count) {
+  Rng rng(4243);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(static_cast<NodeId>(rng.NextBounded(num_nodes)),
+                       static_cast<NodeId>(rng.NextBounded(num_nodes)));
+  }
+  return pairs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
+  bool gate_open_speedup = false;
+  std::string db_path;
+  for (int i = 1; i < argc;) {
+    const std::string arg = argv[i];
+    if (arg == "--gate-open-speedup") {
+      gate_open_speedup = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+    } else if (arg == "--db" && i + 1 < argc) {
+      db_path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+    } else {
+      ++i;
+    }
+  }
+  // Default shape: few, LARGE clusters. The open-vs-rebuild ratio is the
+  // point of the bench, and it scales with per-fragment edge count over
+  // border count — rebuild pays a Dijkstra per border node over the whole
+  // fragment, while open pays decode per border-pair tuple. Many small
+  // clusters measures the opposite regime (decode-bound) and takes far
+  // longer for a weaker signal.
+  const size_t clusters =
+      argc > 1 ? static_cast<size_t>(std::strtoull(argv[1], nullptr, 10))
+               : 8;
+  const size_t nodes_per_cluster =
+      argc > 2 ? static_cast<size_t>(std::strtoull(argv[2], nullptr, 10))
+               : 300;
+  const bool keep_file = !db_path.empty();
+  if (db_path.empty()) db_path = "bench_storage_io.tcfdb";
+  JsonMetrics metrics("storage_io");
+
+  Rng rng(7);
+  TransportationGraphOptions gen;
+  gen.num_clusters = clusters;
+  gen.nodes_per_cluster = nodes_per_cluster;
+  gen.target_edges_per_cluster = 4.0 * nodes_per_cluster;
+  // A well-connected ring (8 undirected edges per link instead of the
+  // default 2): more border nodes per disconnection set, so the rebuild
+  // pays realistically many complementary searches while the file stays
+  // small — the regime where reopening instead of rebuilding matters.
+  for (size_t c = 0; c < clusters; ++c) {
+    gen.links.push_back(InterClusterLink{c, (c + 1) % clusters, 8});
+  }
+  TransportationGraph t = GenerateTransportationGraph(gen, &rng);
+  std::printf("graph: %zu nodes, %zu edges (%zu clusters x %zu)\n",
+              t.graph.NumNodes(), t.graph.NumEdges(), clusters,
+              nodes_per_cluster);
+
+  // 1. rebuild: what every restart costs without the storage layer. The
+  // fragmentation follows the generator's natural clusters (the paper's
+  // "countries of a railway network"), so the disconnection sets are the
+  // sparse inter-cluster links — the regime DSA is designed for.
+  WallTimer rebuild_timer;
+  const Fragmentation frag = FragmentationFromNodePartition(
+      t.graph, t.cluster_of_node, clusters);
+  const DsaDatabase fresh(&frag);
+  const double rebuild_s = rebuild_timer.ElapsedSeconds();
+  std::printf(
+      "rebuild: %.1f ms (%zu fragments, %zu complementary tuples, %zu "
+      "searches)\n",
+      rebuild_s * 1e3, frag.NumFragments(),
+      fresh.complementary().total_tuples, fresh.complementary().searches);
+
+  // 2. save.
+  WallTimer save_timer;
+  const Status saved = SaveDatabase(fresh, db_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "storage_io: save: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  const double save_s = save_timer.ElapsedSeconds();
+  std::FILE* f = std::fopen(db_path.c_str(), "rb");
+  double file_mb = 0.0;
+  if (f != nullptr) {
+    std::fseek(f, 0, SEEK_END);
+    file_mb = static_cast<double>(std::ftell(f)) / (1024.0 * 1024.0);
+    std::fclose(f);
+  }
+  std::printf("save:    %.1f ms (%.2f MiB)\n", save_s * 1e3, file_mb);
+
+  // 3. open, both paths (checksum verification on — the default contract).
+  OpenTiming pool_open = TimedOpen(db_path, /*use_mmap=*/false);
+  std::printf("open:    %.1f ms (buffer pool)\n", pool_open.seconds * 1e3);
+  OpenTiming mmap_open = TimedOpen(db_path, /*use_mmap=*/true);
+  const double speedup =
+      mmap_open.seconds > 0.0 ? rebuild_s / mmap_open.seconds : 0.0;
+  std::printf("open:    %.1f ms (mmap) — %.1fx faster than rebuild\n",
+              mmap_open.seconds * 1e3, speedup);
+
+  // 4. answer equality: fresh == pool-opened == mmap-opened on a random
+  // sweep. Identical inputs (same graph, same complementary tuples) must
+  // give identical costs.
+  const auto pairs = SweepPairs(t.graph.NumNodes(), 150);
+  size_t mismatches = 0;
+  for (const auto& [from, to] : pairs) {
+    const double want = fresh.ShortestPath(from, to).cost;
+    const double got_pool = pool_open.stored.db->ShortestPath(from, to).cost;
+    const double got_mmap = mmap_open.stored.db->ShortestPath(from, to).cost;
+    if (want != got_pool || want != got_mmap) {
+      if (++mismatches <= 5) {
+        std::fprintf(stderr,
+                     "storage_io: MISMATCH %u -> %u: fresh %.17g, pool "
+                     "%.17g, mmap %.17g\n",
+                     from, to, want, got_pool, got_mmap);
+      }
+    }
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "storage_io: %zu of %zu sweep answers differ after reopen\n",
+                 mismatches, pairs.size());
+    return 1;
+  }
+  std::printf("equality: %zu random answers identical after reopen\n",
+              pairs.size());
+
+  // 5. serve from the reopened database (the gated series).
+  const auto serve_pairs = SweepPairs(t.graph.NumNodes(), 400);
+  WallTimer serve_timer;
+  double checksum = 0.0;
+  for (const auto& [from, to] : serve_pairs) {
+    const double cost = mmap_open.stored.db->ShortestPath(from, to).cost;
+    if (cost < kInfinity) checksum += cost;
+  }
+  const double serve_s = serve_timer.ElapsedSeconds();
+  const double qps = serve_pairs.size() / serve_s;
+  std::printf("serve:   %.0f qps on the reopened database (checksum %.3f)\n",
+              qps, checksum);
+
+  metrics.Set("rebuild_ms", rebuild_s * 1e3);
+  metrics.Set("save_ms", save_s * 1e3);
+  metrics.Set("open_ms", pool_open.seconds * 1e3);
+  metrics.Set("mmap_open_ms", mmap_open.seconds * 1e3);
+  metrics.Set("file_mb", file_mb);
+  metrics.Set("mmap_speedup_vs_rebuild", speedup);
+  metrics.Set("reopen_query_qps", qps);
+
+  if (!keep_file) std::remove(db_path.c_str());
+  if (!json_path.empty() && !metrics.WriteFile(json_path)) return 1;
+
+  if (gate_open_speedup && speedup < kRequiredSpeedup) {
+    std::fprintf(stderr,
+                 "storage_io: GATE FAILED: mmap open is only %.1fx faster "
+                 "than rebuild (bar: %.0fx)\n",
+                 speedup, kRequiredSpeedup);
+    return 1;
+  }
+  return 0;
+}

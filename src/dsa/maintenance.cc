@@ -64,6 +64,22 @@ MaintainedDatabase MaintainedDatabase::FromFragmentation(
                             frag.NumFragments(), options);
 }
 
+MaintainedDatabase::MaintainedDatabase(DsaSnapshot snapshot,
+                                       DsaOptions options)
+    : options_(options),
+      edges_(snapshot.graph->edges()),
+      coords_(snapshot.graph->coordinates()),
+      num_nodes_(snapshot.graph->NumNodes()),
+      fragment_of_edge_(snapshot.frag->fragment_of_edge()),
+      num_fragments_(snapshot.frag->NumFragments()),
+      next_epoch_(snapshot.epoch + 1) {
+  TCF_CHECK(snapshot.graph != nullptr && snapshot.frag != nullptr &&
+            snapshot.db != nullptr);
+  TCF_CHECK(fragment_of_edge_.size() == edges_.size());
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = std::move(snapshot);
+}
+
 void MaintainedDatabase::PublishInitial() {
   auto graph = std::make_shared<const Graph>(
       BuildStagedGraph(coords_, num_nodes_, edges_));

@@ -136,6 +136,13 @@ class MaintainedDatabase {
   static MaintainedDatabase FromFragmentation(const Fragmentation& frag,
                                               DsaOptions options = {});
 
+  /// Adopts a prebuilt snapshot — e.g. one reopened from disk via
+  /// storage/database_io.h — publishing it as-is (no refragmentation, no
+  /// complementary recompute) and resuming updates at snapshot.epoch + 1.
+  /// The snapshot must be internally consistent (its db built on its frag
+  /// built on its graph), which OpenDatabase guarantees.
+  MaintainedDatabase(DsaSnapshot snapshot, DsaOptions options = {});
+
   MaintainedDatabase(const MaintainedDatabase&) = delete;
   MaintainedDatabase& operator=(const MaintainedDatabase&) = delete;
 

@@ -1,7 +1,14 @@
-// Persistence for fragmentation designs. A fragmentation is an expensive
-// artifact (the bond-energy ordering alone is cubic) that a database
-// administrator computes once and deploys; these helpers store and reload
-// it next to the graph written by graph/io.h.
+// Persistence for fragmentation designs — the LEGACY TEXT format. A
+// fragmentation is an expensive artifact (the bond-energy ordering alone is
+// cubic) that a database administrator computes once and deploys; these
+// helpers store and reload it next to the graph written by graph/io.h.
+//
+// This format stores only the edge -> fragment assignment, so reopening
+// still pays the full complementary-information precompute. The binary
+// paged format in storage/database_io.h supersedes it for whole databases:
+// checksummed pages, graph + assignment + complementary info in one file,
+// and an mmap fast path (see docs/STORAGE.md). Keep this reader/writer for
+// human-inspectable assignments and old files.
 #pragma once
 
 #include <string>

@@ -1,0 +1,141 @@
+#include "storage/buffer_pool.h"
+
+#include <string>
+#include <utility>
+
+namespace tcf {
+
+BufferPool::PageRef& BufferPool::PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = std::exchange(other.pool_, nullptr);
+    frame_ = other.frame_;
+    page_index_ = other.page_index_;
+    data_ = std::exchange(other.data_, nullptr);
+  }
+  return *this;
+}
+
+uint8_t* BufferPool::PageRef::MutableData() {
+  TCF_CHECK(pool_ != nullptr);
+  pool_->MarkDirty(frame_);
+  return data_;
+}
+
+void BufferPool::PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(PageStore* store, size_t num_frames)
+    : store_(store), page_size_(store->page_size()) {
+  TCF_CHECK(num_frames > 0);
+  frames_.resize(num_frames);
+  storage_.resize(num_frames * page_size_);
+  page_to_frame_.reserve(num_frames);
+}
+
+Result<BufferPool::PageRef> BufferPool::Pin(uint64_t page_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  auto it = page_to_frame_.find(page_index);
+  if (it != page_to_frame_.end()) {
+    Frame& frame = frames_[it->second];
+    ++frame.pin_count;
+    frame.referenced = true;
+    ++stats_.hits;
+    return PageRef(this, it->second, page_index, FrameData(it->second));
+  }
+
+  ++stats_.misses;
+  Result<size_t> victim = FindVictimLocked();
+  if (!victim.ok()) return victim.status();
+  const size_t frame_idx = victim.value();
+  TCF_RETURN_NOT_OK(EvictLocked(frame_idx));
+
+  // The frame is free; fault the page in. On read failure the frame stays
+  // unoccupied and the pool is unchanged.
+  TCF_RETURN_NOT_OK(store_->ReadPage(page_index, FrameData(frame_idx)));
+
+  Frame& frame = frames_[frame_idx];
+  frame.page_index = page_index;
+  frame.pin_count = 1;
+  frame.occupied = true;
+  frame.dirty = false;
+  frame.referenced = true;
+  page_to_frame_[page_index] = frame_idx;
+  return PageRef(this, frame_idx, page_index, FrameData(frame_idx));
+}
+
+Result<size_t> BufferPool::FindVictimLocked() {
+  // Classic clock: sweep, clearing second-chance bits; an unpinned frame
+  // with its bit already clear is the victim. Two full sweeps guarantee we
+  // either find one or prove every frame is pinned.
+  for (size_t step = 0; step < 2 * frames_.size(); ++step) {
+    Frame& frame = frames_[clock_hand_];
+    const size_t candidate = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (!frame.occupied) return candidate;
+    if (frame.pin_count > 0) continue;
+    if (frame.referenced) {
+      frame.referenced = false;
+      continue;
+    }
+    return candidate;
+  }
+  return Status::FailedPrecondition(
+      "BufferPool: all " + std::to_string(frames_.size()) +
+      " frames are pinned; cannot evict");
+}
+
+Status BufferPool::EvictLocked(size_t frame_idx) {
+  Frame& frame = frames_[frame_idx];
+  if (!frame.occupied) return Status::OK();
+  TCF_CHECK(frame.pin_count == 0);
+  if (frame.dirty) {
+    TCF_RETURN_NOT_OK(store_->WritePage(frame.page_index,
+                                        FrameData(frame_idx)));
+    ++stats_.writebacks;
+  }
+  page_to_frame_.erase(frame.page_index);
+  frame.occupied = false;
+  frame.dirty = false;
+  frame.referenced = false;
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (frame.occupied && frame.dirty) {
+      TCF_RETURN_NOT_OK(store_->WritePage(frame.page_index, FrameData(i)));
+      frame.dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+  return store_->Sync();
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void BufferPool::Unpin(size_t frame_idx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Frame& frame = frames_[frame_idx];
+  TCF_CHECK(frame.pin_count > 0);
+  --frame.pin_count;
+}
+
+void BufferPool::MarkDirty(size_t frame_idx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  frames_[frame_idx].dirty = true;
+}
+
+}  // namespace tcf

@@ -1,0 +1,115 @@
+// A small page cache between readers and a PageStore: a fixed set of
+// page-sized frames, pin/unpin reference counting, clock (second-chance)
+// eviction that never touches a pinned frame, and dirty-page writeback on
+// eviction or FlushAll. This is the seam ROADMAP item 4 asks for — the
+// structure that will let fragment relations spill to disk once queries
+// read through it; today OpenDatabase uses it as the non-mmap read path and
+// tests hammer it directly (tests/buffer_pool_test.cc).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page_store.h"
+#include "util/status.h"
+
+namespace tcf {
+
+/// Counters for observability and tests. A hit is a Pin() that found the
+/// page resident; an eviction is a frame reassigned to a new page; a
+/// writeback is a dirty frame written to the store (eviction or flush).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+};
+
+/// Thread-safe (one coarse mutex — the pool serializes its PageStore, which
+/// is allowed to be single-threaded). Frames are allocated up front:
+/// `num_frames * page_size` bytes for the life of the pool.
+class BufferPool {
+ public:
+  BufferPool(PageStore* store, size_t num_frames);
+
+  /// RAII pin on a resident page. While any PageRef to a page is live, its
+  /// frame will not be evicted and its bytes will not move. Move-only.
+  class PageRef {
+   public:
+    PageRef() = default;
+    ~PageRef() { Release(); }
+    PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+    PageRef& operator=(PageRef&& other) noexcept;
+    PageRef(const PageRef&) = delete;
+    PageRef& operator=(const PageRef&) = delete;
+
+    /// Read-only view of the page bytes.
+    const uint8_t* data() const { return data_; }
+    /// Writable view; marks the frame dirty (written back on eviction or
+    /// FlushAll).
+    uint8_t* MutableData();
+
+    uint64_t page_index() const { return page_index_; }
+    bool valid() const { return pool_ != nullptr; }
+
+   private:
+    friend class BufferPool;
+    PageRef(BufferPool* pool, size_t frame, uint64_t page_index,
+            uint8_t* data)
+        : pool_(pool), frame_(frame), page_index_(page_index), data_(data) {}
+    void Release();
+
+    BufferPool* pool_ = nullptr;
+    size_t frame_ = 0;
+    uint64_t page_index_ = 0;
+    uint8_t* data_ = nullptr;
+  };
+
+  /// Pin page `page_index`, faulting it in from the store on a miss.
+  /// Fails with kFailedPrecondition if every frame is pinned, or with the
+  /// store's error if the read fails.
+  Result<PageRef> Pin(uint64_t page_index);
+
+  /// Write every dirty frame back to the store and Sync() it.
+  Status FlushAll();
+
+  size_t num_frames() const { return frames_.size(); }
+  size_t page_size() const { return page_size_; }
+  BufferPoolStats stats() const;
+
+ private:
+  struct Frame {
+    uint64_t page_index = 0;
+    uint32_t pin_count = 0;
+    bool occupied = false;
+    bool dirty = false;
+    bool referenced = false;  // clock second-chance bit
+  };
+
+  // Both require `mutex_` held.
+  Result<size_t> FindVictimLocked();
+  Status EvictLocked(size_t frame);
+
+  // Called by PageRef; take the mutex themselves.
+  void Unpin(size_t frame);
+  void MarkDirty(size_t frame);
+
+  uint8_t* FrameData(size_t frame) {
+    return storage_.data() + frame * page_size_;
+  }
+
+  PageStore* store_;
+  size_t page_size_;
+
+  mutable std::mutex mutex_;
+  std::vector<Frame> frames_;
+  std::vector<uint8_t> storage_;  // num_frames * page_size bytes
+  std::unordered_map<uint64_t, size_t> page_to_frame_;
+  size_t clock_hand_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace tcf

@@ -1,0 +1,86 @@
+// Save / open a fragmented database as a single paged, checksummed file —
+// the binary sibling of the legacy text format in fragment/fragmentation_io
+// — so `tcfragd` restarts and benches can *open* a database (adopting the
+// precomputed complementary information via the epoch-carryover
+// constructor) instead of paying fragmentation + preprocessing again. The
+// on-disk format is normative in docs/STORAGE.md; version/compat rules and
+// the corruption-detection contract live there.
+//
+// Two read paths share one decoder:
+//   - mmap fast path (default): the whole file is mapped read-only and blob
+//     bytes are decoded straight out of the mapping — no page copies, no
+//     syscalls per page. This is what makes open-vs-rebuild a >=5x win
+//     (bench/storage_io gates it).
+//   - buffer-pool path: pages are faulted through a BufferPool over a
+//     FilePageStore — the seam that will let fragment relations spill to
+//     disk (ROADMAP item 4) and the path exercised when mmap is unwanted.
+// Both verify every page's CRC32C at open by default, so a single flipped
+// bit anywhere in the file is a clean kIOError, never a crash.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dsa/maintenance.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace tcf {
+
+struct SaveOptions {
+  /// Page size of the written file; power of two in
+  /// [kMinPageSize, kMaxPageSize].
+  size_t page_size = kDefaultPageSize;
+};
+
+struct OpenOptions {
+  /// Options for the reconstructed DsaDatabase. `use_complementary` must be
+  /// false if the file was saved without complementary info.
+  DsaOptions dsa;
+  /// Read via one read-only mmap of the whole file (fast path). When
+  /// false, pages are faulted through a BufferPool instead.
+  bool use_mmap = true;
+  /// Frames for the buffer-pool path (ignored under mmap).
+  size_t buffer_pool_frames = 256;
+  /// Verify every page's checksum up front. Leaving this on is the
+  /// corruption-detection contract of docs/STORAGE.md; turning it off
+  /// skips the whole-file sweep but pages actually decoded are still
+  /// verified.
+  bool verify_checksums = true;
+};
+
+/// An opened database: the same ownership-chained triple a maintenance
+/// snapshot carries (each shared_ptr keeps its dependency alive), so any
+/// member stands alone.
+struct StoredDatabase {
+  uint64_t epoch = 0;
+  std::shared_ptr<const Graph> graph;
+  std::shared_ptr<const Fragmentation> frag;
+  std::shared_ptr<const DsaDatabase> db;
+};
+
+/// Serialize `db` (graph, fragment assignment, complementary shortcuts +
+/// witness routes, epoch) to `path`. Writes `path + ".tmp"` and renames, so
+/// a crash mid-save never leaves a half-written file at `path`. The output
+/// is byte-deterministic for a given database.
+Status SaveDatabase(const DsaDatabase& db, const std::string& path,
+                    const SaveOptions& options = {});
+
+/// Save the current snapshot of a maintained database (epoch included).
+Status SaveDatabase(const MaintainedDatabase& mdb, const std::string& path,
+                    const SaveOptions& options = {});
+
+/// Open a database file. Every structural property of the file is
+/// validated before use — magic, version, page size, page checksums, blob
+/// bounds, cross-references (edge endpoints, fragment owners, border-node
+/// membership of shortcut tuples, witness-route endpoints) — and any
+/// violation is a descriptive non-OK Status, never undefined behavior.
+Result<StoredDatabase> OpenDatabase(const std::string& path,
+                                    const OpenOptions& options = {});
+
+/// Open as a MaintainedDatabase that resumes updates at stored_epoch + 1
+/// (the snapshot-adopting constructor; no refragmentation, no recompute).
+Result<std::unique_ptr<MaintainedDatabase>> OpenMaintainedDatabase(
+    const std::string& path, const OpenOptions& options = {});
+
+}  // namespace tcf

@@ -1,0 +1,112 @@
+#include "storage/page.h"
+
+#include <cstring>
+#include <string>
+
+#include "storage/crc32c.h"
+
+namespace tcf {
+
+namespace {
+
+// Header byte offsets (docs/STORAGE.md "Page header").
+constexpr size_t kOffChecksum = 0;   // u32; CRC32C of bytes [4, page_size)
+constexpr size_t kOffType = 4;       // u8
+constexpr size_t kOffReserved1 = 5;  // u8[3], must be zero
+constexpr size_t kOffPageIndex = 8;  // u64
+constexpr size_t kOffPayloadLen = 16;  // u32
+constexpr size_t kOffReserved2 = 20;   // u32, must be zero
+
+}  // namespace
+
+bool ValidPageSize(size_t page_size) {
+  return page_size >= kMinPageSize && page_size <= kMaxPageSize &&
+         (page_size & (page_size - 1)) == 0;
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         static_cast<uint64_t>(LoadU32(p + 4)) << 32;
+}
+
+void StoreU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void StoreU64(uint8_t* p, uint64_t v) {
+  StoreU32(p, static_cast<uint32_t>(v));
+  StoreU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+void SealPage(std::span<uint8_t> page, PageType type, uint64_t page_index,
+              uint32_t payload_len) {
+  TCF_CHECK(ValidPageSize(page.size()));
+  TCF_CHECK(payload_len <= PagePayloadCapacity(page.size()));
+  uint8_t* p = page.data();
+  p[kOffType] = static_cast<uint8_t>(type);
+  std::memset(p + kOffReserved1, 0, 3);
+  StoreU64(p + kOffPageIndex, page_index);
+  StoreU32(p + kOffPayloadLen, payload_len);
+  StoreU32(p + kOffReserved2, 0);
+  std::memset(p + kPageHeaderSize + payload_len, 0,
+              page.size() - kPageHeaderSize - payload_len);
+  StoreU32(p + kOffChecksum, Crc32c(p + 4, page.size() - 4));
+}
+
+Result<PageHeader> CheckPage(std::span<const uint8_t> page,
+                             uint64_t expected_index) {
+  if (!ValidPageSize(page.size())) {
+    return Status::InvalidArgument("CheckPage: bad page buffer size " +
+                                   std::to_string(page.size()));
+  }
+  const uint8_t* p = page.data();
+  const uint32_t stored = LoadU32(p + kOffChecksum);
+  const uint32_t actual = Crc32c(p + 4, page.size() - 4);
+  if (stored != actual) {
+    return Status::IOError("page " + std::to_string(expected_index) +
+                           ": checksum mismatch (stored " +
+                           std::to_string(stored) + ", computed " +
+                           std::to_string(actual) + ")");
+  }
+  const uint8_t type = p[kOffType];
+  if (type != static_cast<uint8_t>(PageType::kSuperblock) &&
+      type != static_cast<uint8_t>(PageType::kData)) {
+    return Status::InvalidArgument("page " + std::to_string(expected_index) +
+                                   ": unknown page type " +
+                                   std::to_string(type));
+  }
+  if (p[kOffReserved1] != 0 || p[kOffReserved1 + 1] != 0 ||
+      p[kOffReserved1 + 2] != 0 || LoadU32(p + kOffReserved2) != 0) {
+    return Status::InvalidArgument("page " + std::to_string(expected_index) +
+                                   ": reserved header bytes are nonzero");
+  }
+  const uint64_t self_index = LoadU64(p + kOffPageIndex);
+  if (self_index != expected_index) {
+    return Status::InvalidArgument(
+        "page " + std::to_string(expected_index) +
+        ": self-declared index is " + std::to_string(self_index) +
+        " (page written to or read from the wrong offset)");
+  }
+  const uint32_t payload_len = LoadU32(p + kOffPayloadLen);
+  if (payload_len > PagePayloadCapacity(page.size())) {
+    return Status::OutOfRange("page " + std::to_string(expected_index) +
+                              ": payload_len " + std::to_string(payload_len) +
+                              " exceeds page capacity " +
+                              std::to_string(PagePayloadCapacity(page.size())));
+  }
+  PageHeader header;
+  header.type = static_cast<PageType>(type);
+  header.page_index = self_index;
+  header.payload_len = payload_len;
+  return header;
+}
+
+}  // namespace tcf

@@ -1,0 +1,74 @@
+// The unit of on-disk I/O: a fixed-size page with a 24-byte checksummed
+// header. Every page in a tcfrag database file — superblock and data pages
+// alike — carries this header, so corruption anywhere in the file is
+// detected by a single uniform check. The byte-exact layout is normative in
+// docs/STORAGE.md; this header is its executable form.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/status.h"
+
+namespace tcf {
+
+/// Page geometry. The page size is chosen at SaveDatabase time, recorded in
+/// the superblock, and fixed for the life of the file. It must be a power
+/// of two in [kMinPageSize, kMaxPageSize].
+inline constexpr size_t kDefaultPageSize = 8192;
+inline constexpr size_t kMinPageSize = 512;
+inline constexpr size_t kMaxPageSize = 1u << 20;
+
+/// Bytes of header at the start of every page. Payload capacity is
+/// page_size - kPageHeaderSize.
+inline constexpr size_t kPageHeaderSize = 24;
+
+/// Discriminates the superblock (always page 0) from data pages.
+enum class PageType : uint8_t {
+  kSuperblock = 1,
+  kData = 2,
+};
+
+/// Decoded page header (see docs/STORAGE.md "Page header" for the on-disk
+/// byte layout: u32 checksum, u8 type, 3 reserved bytes, u64 page_index,
+/// u32 payload_len, u32 reserved — all little-endian).
+struct PageHeader {
+  PageType type = PageType::kData;
+  uint64_t page_index = 0;
+  uint32_t payload_len = 0;
+};
+
+/// True iff `page_size` is a power of two within the allowed range.
+bool ValidPageSize(size_t page_size);
+
+/// Payload bytes a page of `page_size` can hold.
+inline constexpr size_t PagePayloadCapacity(size_t page_size) {
+  return page_size - kPageHeaderSize;
+}
+
+/// Little-endian fixed-width loads/stores, shared by the page codec and the
+/// superblock codec in database_io.cc.
+uint32_t LoadU32(const uint8_t* p);
+uint64_t LoadU64(const uint8_t* p);
+void StoreU32(uint8_t* p, uint32_t v);
+void StoreU64(uint8_t* p, uint64_t v);
+
+/// Write the header into `page` (whose size is the page size) and stamp the
+/// checksum. The payload must already sit at offset kPageHeaderSize; bytes
+/// past kPageHeaderSize + payload_len are zeroed so pages are deterministic
+/// and the checksum covers defined bytes only.
+void SealPage(std::span<uint8_t> page, PageType type, uint64_t page_index,
+              uint32_t payload_len);
+
+/// Verify a page read back from storage: checksum, type byte, reserved
+/// bytes, self-declared index (must equal `expected_index` — catches pages
+/// written to or read from the wrong offset), and payload_len within
+/// capacity. Returns the decoded header, or:
+///   kIOError            checksum mismatch (bit rot, torn write)
+///   kInvalidArgument    bad type / nonzero reserved bytes / index mismatch
+///   kOutOfRange         payload_len exceeds page capacity
+Result<PageHeader> CheckPage(std::span<const uint8_t> page,
+                             uint64_t expected_index);
+
+}  // namespace tcf

@@ -1,0 +1,197 @@
+#include "storage/page_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tcf {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MemPageStore
+
+MemPageStore::MemPageStore(size_t page_size) : page_size_(page_size) {
+  TCF_CHECK(page_size_ > 0);
+}
+
+Status MemPageStore::ReadPage(uint64_t index, uint8_t* out) {
+  if (index >= pages_.size()) {
+    return Status::OutOfRange("MemPageStore: read of page " +
+                              std::to_string(index) + " past end (" +
+                              std::to_string(pages_.size()) + " pages)");
+  }
+  std::memcpy(out, pages_[index].data(), page_size_);
+  return Status::OK();
+}
+
+Status MemPageStore::WritePage(uint64_t index, const uint8_t* data) {
+  if (index > pages_.size()) {
+    return Status::OutOfRange("MemPageStore: write of page " +
+                              std::to_string(index) + " would leave a hole (" +
+                              std::to_string(pages_.size()) + " pages)");
+  }
+  if (index == pages_.size()) {
+    pages_.emplace_back(data, data + page_size_);
+  } else {
+    std::memcpy(pages_[index].data(), data, page_size_);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// FilePageStore
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
+    const std::string& path, size_t page_size) {
+  TCF_CHECK(page_size > 0);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(Errno("open " + path));
+  }
+  return std::unique_ptr<FilePageStore>(
+      new FilePageStore(fd, page_size, 0, /*read_only=*/false, path));
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
+    const std::string& path, size_t page_size, bool read_only) {
+  TCF_CHECK(page_size > 0);
+  const int fd = ::open(path.c_str(), read_only ? O_RDONLY : O_RDWR);
+  if (fd < 0) {
+    return Status::IOError(Errno("open " + path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IOError(Errno("fstat " + path));
+    ::close(fd);
+    return status;
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size % page_size != 0) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        path + ": file size " + std::to_string(size) +
+        " is not a multiple of page size " + std::to_string(page_size) +
+        " (truncated or not a tcfrag database)");
+  }
+  return std::unique_ptr<FilePageStore>(new FilePageStore(
+      fd, page_size, size / page_size, read_only, path));
+}
+
+FilePageStore::~FilePageStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FilePageStore::ReadPage(uint64_t index, uint8_t* out) {
+  if (index >= page_count_) {
+    return Status::OutOfRange(path_ + ": read of page " +
+                              std::to_string(index) + " past end (" +
+                              std::to_string(page_count_) + " pages)");
+  }
+  size_t done = 0;
+  while (done < page_size_) {
+    const ssize_t n =
+        ::pread(fd_, out + done, page_size_ - done,
+                static_cast<off_t>(index * page_size_ + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno(path_ + ": pread"));
+    }
+    if (n == 0) {
+      return Status::IOError(path_ + ": unexpected EOF reading page " +
+                             std::to_string(index));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::WritePage(uint64_t index, const uint8_t* data) {
+  if (read_only_) {
+    return Status::FailedPrecondition(path_ + ": store is read-only");
+  }
+  if (index > page_count_) {
+    return Status::OutOfRange(path_ + ": write of page " +
+                              std::to_string(index) + " would leave a hole (" +
+                              std::to_string(page_count_) + " pages)");
+  }
+  size_t done = 0;
+  while (done < page_size_) {
+    const ssize_t n =
+        ::pwrite(fd_, data + done, page_size_ - done,
+                 static_cast<off_t>(index * page_size_ + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno(path_ + ": pwrite"));
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (index == page_count_) ++page_count_;
+  return Status::OK();
+}
+
+Status FilePageStore::Sync() {
+  if (read_only_) return Status::OK();
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(Errno(path_ + ": fsync"));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// MmapFile
+
+Result<MmapFile> MmapFile::Map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError(Errno("open " + path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IOError(Errno("fstat " + path));
+    ::close(fd);
+    return status;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::InvalidArgument(path + ": empty file");
+  }
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping stays valid after close(2); the kernel holds the file.
+  ::close(fd);
+  if (data == MAP_FAILED) {
+    return Status::IOError(Errno("mmap " + path));
+  }
+  return MmapFile(data, size);
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace tcf

@@ -1,0 +1,124 @@
+// The seam between the buffer pool and the bytes: a PageStore reads and
+// writes whole fixed-size pages by index. Two implementations ship —
+// MemPageStore (tests, scratch builds) and FilePageStore (POSIX
+// pread/pwrite on a database file) — and MmapFile provides the read-only
+// fast path that bypasses the pool entirely for opens (docs/STORAGE.md,
+// docs/ARCHITECTURE.md "Paged storage").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tcf {
+
+/// Abstract page-granular storage. Implementations are NOT required to be
+/// thread-safe; BufferPool serializes access to its store.
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  virtual size_t page_size() const = 0;
+  virtual uint64_t page_count() const = 0;
+
+  /// Read page `index` into `out` (page_size bytes).
+  virtual Status ReadPage(uint64_t index, uint8_t* out) = 0;
+
+  /// Write page `index` from `data` (page_size bytes). `index ==
+  /// page_count()` appends a new page; beyond that is kOutOfRange.
+  virtual Status WritePage(uint64_t index, const uint8_t* data) = 0;
+
+  /// Flush written pages to durable storage.
+  virtual Status Sync() = 0;
+};
+
+/// In-memory store: a vector of pages. Used by unit tests and as scratch
+/// space when assembling a file image before writing it out.
+class MemPageStore final : public PageStore {
+ public:
+  explicit MemPageStore(size_t page_size);
+
+  size_t page_size() const override { return page_size_; }
+  uint64_t page_count() const override { return pages_.size(); }
+  Status ReadPage(uint64_t index, uint8_t* out) override;
+  Status WritePage(uint64_t index, const uint8_t* data) override;
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  size_t page_size_;
+  std::vector<std::vector<uint8_t>> pages_;
+};
+
+/// A database file accessed with pread/pwrite at page granularity. The file
+/// size must be an exact multiple of the page size.
+class FilePageStore final : public PageStore {
+ public:
+  /// Create (truncate) a writable store at `path`.
+  static Result<std::unique_ptr<FilePageStore>> Create(
+      const std::string& path, size_t page_size);
+
+  /// Open an existing file. The caller supplies the page size (read from
+  /// the superblock probe; see OpenDatabase). Fails with kInvalidArgument
+  /// if the file size is not a multiple of `page_size`.
+  static Result<std::unique_ptr<FilePageStore>> Open(const std::string& path,
+                                                     size_t page_size,
+                                                     bool read_only);
+
+  ~FilePageStore() override;
+  FilePageStore(const FilePageStore&) = delete;
+  FilePageStore& operator=(const FilePageStore&) = delete;
+
+  size_t page_size() const override { return page_size_; }
+  uint64_t page_count() const override { return page_count_; }
+  Status ReadPage(uint64_t index, uint8_t* out) override;
+  Status WritePage(uint64_t index, const uint8_t* data) override;
+  Status Sync() override;
+
+ private:
+  FilePageStore(int fd, size_t page_size, uint64_t page_count, bool read_only,
+                std::string path)
+      : fd_(fd),
+        page_size_(page_size),
+        page_count_(page_count),
+        read_only_(read_only),
+        path_(std::move(path)) {}
+
+  int fd_;
+  size_t page_size_;
+  uint64_t page_count_;
+  bool read_only_;
+  std::string path_;
+};
+
+/// A whole file mapped read-only. Move-only RAII over mmap/munmap; the
+/// mapping (and thus every span derived from it) lives as long as this
+/// object. OpenDatabase's fast path hands spans of the mapping straight to
+/// the blob decoders — no page copies.
+class MmapFile {
+ public:
+  static Result<MmapFile> Map(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  std::span<const uint8_t> bytes() const {
+    return {static_cast<const uint8_t*>(data_), size_};
+  }
+
+ private:
+  MmapFile(void* data, size_t size) : data_(data), size_(size) {}
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace tcf

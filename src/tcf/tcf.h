@@ -45,6 +45,11 @@
 #include "relational/relation.h"            // IWYU pragma: export
 #include "relational/transitive_closure.h"  // IWYU pragma: export
 #include "relational/warshall.h"            // IWYU pragma: export
+#include "storage/buffer_pool.h"  // IWYU pragma: export
+#include "storage/crc32c.h"       // IWYU pragma: export
+#include "storage/database_io.h"  // IWYU pragma: export
+#include "storage/page.h"         // IWYU pragma: export
+#include "storage/page_store.h"   // IWYU pragma: export
 #include "util/logging.h"      // IWYU pragma: export
 #include "util/lru_cache.h"    // IWYU pragma: export
 #include "util/rng.h"          // IWYU pragma: export

@@ -8,11 +8,18 @@
 //   tcfragd [--port N] [--bind ADDR] [--clusters N]
 //           [--nodes-per-cluster N] [--edges-per-cluster N]
 //           [--fragments N] [--seed N] [--max-batch N]
-//           [--flush-workers N] [--shards N]
+//           [--flush-workers N] [--shards N] [--db PATH]
 //
 // Defaults serve the Table 1 transportation workload (4 clusters x 25
 // nodes) on 127.0.0.1:7411. Talk to it with net/client.h — see
 // examples/remote_queries.cc.
+//
+// --db PATH persists the database across restarts (docs/STORAGE.md): if
+// PATH exists it is opened — adopting the stored graph, fragmentation and
+// complementary info, so restart cost is file-read cost, not cubic
+// refragmentation — and updates resume at the stored epoch + 1; otherwise
+// the daemon builds from the generator flags as usual and saves to PATH
+// before serving.
 //
 // Shutdown ordering matters and is deliberate: the server stops FIRST
 // (drains every in-flight reply onto the wire), the service second — the
@@ -23,11 +30,14 @@
 #include <cstring>
 #include <string>
 
+#include <memory>
+
 #include "dsa/maintenance.h"
 #include "dsa/service.h"
 #include "fragment/linear.h"
 #include "graph/generator.h"
 #include "net/server.h"
+#include "storage/database_io.h"
 #include "util/rng.h"
 
 using namespace tcf;
@@ -45,6 +55,7 @@ struct Flags {
   size_t max_batch = 64;
   size_t flush_workers = 0;  // 0 = one per hardware thread
   size_t shards = 4;
+  std::string db_path;  // empty = in-memory only
 };
 
 void Usage(const char* argv0) {
@@ -53,7 +64,7 @@ void Usage(const char* argv0) {
       "usage: %s [--port N] [--bind ADDR] [--clusters N]\n"
       "          [--nodes-per-cluster N] [--edges-per-cluster N]\n"
       "          [--fragments N] [--seed N] [--max-batch N]\n"
-      "          [--flush-workers N] [--shards N]\n",
+      "          [--flush-workers N] [--shards N] [--db PATH]\n",
       argv0);
 }
 
@@ -84,6 +95,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->flush_workers = std::strtoull(v, nullptr, 10);
     } else if (arg == "--shards" && (v = next())) {
       flags->shards = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--db" && (v = next())) {
+      flags->db_path = v;
     } else {
       Usage(argv[0]);
       return false;
@@ -106,20 +119,59 @@ int main(int argc, char** argv) {
   sigaddset(&stop_signals, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
 
-  Rng rng(flags.seed);
-  TransportationGraphOptions gen;
-  gen.num_clusters = flags.clusters;
-  gen.nodes_per_cluster = flags.nodes_per_cluster;
-  gen.target_edges_per_cluster = flags.edges_per_cluster;
-  TransportationGraph t = GenerateTransportationGraph(gen, &rng);
-  LinearOptions lopts;
-  lopts.num_fragments = flags.fragments;
-  const Fragmentation frag =
-      LinearFragmentation(t.graph, lopts).fragmentation;
-  MaintainedDatabase mdb = MaintainedDatabase::FromFragmentation(frag);
-  std::printf("tcfragd: %zu nodes, %zu edges, %zu fragments (seed %llu)\n",
-              t.graph.NumNodes(), t.graph.NumEdges(), frag.NumFragments(),
-              static_cast<unsigned long long>(flags.seed));
+  std::unique_ptr<MaintainedDatabase> mdb_storage;
+  if (!flags.db_path.empty()) {
+    Result<std::unique_ptr<MaintainedDatabase>> opened =
+        OpenMaintainedDatabase(flags.db_path);
+    if (opened.ok()) {
+      mdb_storage = std::move(opened).value();
+      std::printf(
+          "tcfragd: opened database %s (%zu nodes, %zu edges, %zu "
+          "fragments, epoch %llu)\n",
+          flags.db_path.c_str(), mdb_storage->graph().NumNodes(),
+          mdb_storage->graph().NumEdges(),
+          mdb_storage->fragmentation().NumFragments(),
+          static_cast<unsigned long long>(mdb_storage->epoch()));
+    } else if (opened.status().code() != StatusCode::kNotFound) {
+      // A present-but-unreadable file is an error, not a rebuild trigger:
+      // silently regenerating would shadow the operator's data.
+      std::fprintf(stderr, "tcfragd: open %s: %s\n", flags.db_path.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+  }
+  if (mdb_storage == nullptr) {
+    Rng rng(flags.seed);
+    TransportationGraphOptions gen;
+    gen.num_clusters = flags.clusters;
+    gen.nodes_per_cluster = flags.nodes_per_cluster;
+    gen.target_edges_per_cluster = flags.edges_per_cluster;
+    TransportationGraph t = GenerateTransportationGraph(gen, &rng);
+    LinearOptions lopts;
+    lopts.num_fragments = flags.fragments;
+    const Fragmentation frag =
+        LinearFragmentation(t.graph, lopts).fragmentation;
+    // MaintainedDatabase is pinned in place (mutexes), so build it in the
+    // unique_ptr directly from a copy of the graph (the primary ctor form
+    // of FromFragmentation).
+    Graph graph_copy = t.graph;
+    mdb_storage = std::make_unique<MaintainedDatabase>(
+        std::move(graph_copy), frag.fragment_of_edge(), frag.NumFragments());
+    std::printf(
+        "tcfragd: %zu nodes, %zu edges, %zu fragments (seed %llu)\n",
+        t.graph.NumNodes(), t.graph.NumEdges(), frag.NumFragments(),
+        static_cast<unsigned long long>(flags.seed));
+    if (!flags.db_path.empty()) {
+      const Status saved = SaveDatabase(*mdb_storage, flags.db_path);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "tcfragd: save %s: %s\n",
+                     flags.db_path.c_str(), saved.ToString().c_str());
+        return 1;
+      }
+      std::printf("tcfragd: saved database %s\n", flags.db_path.c_str());
+    }
+  }
+  MaintainedDatabase& mdb = *mdb_storage;
 
   ServiceOptions sopts;
   sopts.max_batch = flags.max_batch;
