@@ -12,14 +12,22 @@
 //                 fresh and both reopened databases (exit 1 on mismatch);
 //   5. serve    — query throughput on the mmap-reopened database, the
 //                 gated "did reopening cost us anything at serve time"
-//                 series.
+//                 series;
+//   6. paged    — reopen with OpenMode::kPaged and a buffer pool capped at
+//                 a quarter of the file, answer the same sweep (exact
+//                 equality, gated by --gate-paged-correct), and measure
+//                 query throughput through pinned pages vs resident
+//                 (paged_query_qps, pool_hit_rate, peak pinned pages).
 //
 // `storage_io [clusters [nodes-per-cluster]]` scales the graph; `--json
-// <path>` writes the perf-gate metrics (gated key: reopen_query_qps;
+// <path>` writes the perf-gate metrics (gated keys: reopen_query_qps and
+// paged_query_qps — any *_qps key is rolling-median gated;
 // save/open/rebuild wall times and the open-vs-rebuild speedup ride along
 // ungated); `--db <path>` places the database file (kept afterwards)
 // instead of a scratch file (deleted); `--gate-open-speedup` exits 1
-// unless mmap open beats rebuild by >= 5x — the acceptance bar CI enforces.
+// unless mmap open beats rebuild by >= 5x — the acceptance bar CI
+// enforces; `--gate-paged-correct` exits 1 if the capped-pool paged
+// database answers the sweep any differently from the fresh build.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -75,11 +83,16 @@ std::vector<std::pair<NodeId, NodeId>> SweepPairs(size_t num_nodes,
 int main(int argc, char** argv) {
   const std::string json_path = ConsumeJsonFlag(&argc, argv);
   bool gate_open_speedup = false;
+  bool gate_paged_correct = false;
   std::string db_path;
   for (int i = 1; i < argc;) {
     const std::string arg = argv[i];
     if (arg == "--gate-open-speedup") {
       gate_open_speedup = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+    } else if (arg == "--gate-paged-correct") {
+      gate_paged_correct = true;
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
     } else if (arg == "--db" && i + 1 < argc) {
@@ -204,13 +217,74 @@ int main(int argc, char** argv) {
   std::printf("serve:   %.0f qps on the reopened database (checksum %.3f)\n",
               qps, checksum);
 
+  // 6. the paged cell: reopen with relations left on disk and the pool
+  // capped at a quarter of the file, so queries genuinely stream through
+  // pinned pages. Correctness first (the same sweep, exact equality),
+  // then throughput against the resident serve above.
+  OpenOptions paged_options;
+  paged_options.mode = OpenMode::kPaged;
+  paged_options.memory_budget_bytes = static_cast<size_t>(
+      file_mb * 1024.0 * 1024.0 / 4.0);
+  WallTimer paged_open_timer;
+  Result<StoredDatabase> paged_opened = OpenDatabase(db_path, paged_options);
+  if (!paged_opened.ok()) {
+    std::fprintf(stderr, "storage_io: paged open: %s\n",
+                 paged_opened.status().ToString().c_str());
+    return 1;
+  }
+  const double paged_open_s = paged_open_timer.ElapsedSeconds();
+  const StoredDatabase& paged = paged_opened.value();
+  std::printf("open:    %.1f ms (paged, %zu pool frames of %zu bytes)\n",
+              paged_open_s * 1e3, paged.paged_file->pool().num_frames(),
+              paged.paged_file->page_size());
+
+  size_t paged_mismatches = 0;
+  for (const auto& [from, to] : pairs) {
+    const double want = fresh.ShortestPath(from, to).cost;
+    const double got = paged.db->ShortestPath(from, to).cost;
+    if (want != got) {
+      if (++paged_mismatches <= 5) {
+        std::fprintf(stderr,
+                     "storage_io: PAGED MISMATCH %u -> %u: fresh %.17g, "
+                     "paged %.17g\n",
+                     from, to, want, got);
+      }
+    }
+  }
+  std::printf("equality: %zu random answers %s on the capped-pool paged "
+              "database\n",
+              pairs.size(),
+              paged_mismatches == 0 ? "identical" : "DIFFER");
+
+  WallTimer paged_serve_timer;
+  double paged_checksum = 0.0;
+  for (const auto& [from, to] : serve_pairs) {
+    const double cost = paged.db->ShortestPath(from, to).cost;
+    if (cost < kInfinity) paged_checksum += cost;
+  }
+  const double paged_serve_s = paged_serve_timer.ElapsedSeconds();
+  const double paged_qps = serve_pairs.size() / paged_serve_s;
+  const BufferPoolStats pool_stats = paged.paged_file->stats();
+  const double paged_factor = paged_qps > 0.0 ? qps / paged_qps : 0.0;
+  std::printf(
+      "serve:   %.0f qps paged (checksum %.3f) — %.2fx slower than "
+      "resident; pool %.1f%% hit rate, peak %llu pinned pages\n",
+      paged_qps, paged_checksum, paged_factor, 100.0 * pool_stats.HitRate(),
+      static_cast<unsigned long long>(pool_stats.peak_pinned_frames));
+
   metrics.Set("rebuild_ms", rebuild_s * 1e3);
   metrics.Set("save_ms", save_s * 1e3);
   metrics.Set("open_ms", pool_open.seconds * 1e3);
   metrics.Set("mmap_open_ms", mmap_open.seconds * 1e3);
+  metrics.Set("paged_open_ms", paged_open_s * 1e3);
   metrics.Set("file_mb", file_mb);
   metrics.Set("mmap_speedup_vs_rebuild", speedup);
   metrics.Set("reopen_query_qps", qps);
+  metrics.Set("paged_query_qps", paged_qps);
+  metrics.Set("paged_vs_resident_factor", paged_factor);
+  metrics.Set("pool_hit_rate", pool_stats.HitRate());
+  metrics.Set("peak_pinned_pages",
+              static_cast<double>(pool_stats.peak_pinned_frames));
 
   if (!keep_file) std::remove(db_path.c_str());
   if (!json_path.empty() && !metrics.WriteFile(json_path)) return 1;
@@ -220,6 +294,13 @@ int main(int argc, char** argv) {
                  "storage_io: GATE FAILED: mmap open is only %.1fx faster "
                  "than rebuild (bar: %.0fx)\n",
                  speedup, kRequiredSpeedup);
+    return 1;
+  }
+  if (gate_paged_correct && paged_mismatches > 0) {
+    std::fprintf(stderr,
+                 "storage_io: GATE FAILED: %zu of %zu sweep answers differ "
+                 "on the capped-pool paged database\n",
+                 paged_mismatches, pairs.size());
     return 1;
   }
   return 0;

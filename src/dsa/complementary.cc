@@ -136,14 +136,17 @@ ComplementaryRefresh RefreshComplementary(const Fragmentation& frag,
 
     if (!any_dirty) {
       // Untouched schema, untouched distances: the old relation (and its
-      // witnesses) carry over verbatim.
+      // witnesses) carry over verbatim. A paged relation carries over as a
+      // shared reference to its immutable store — no copy, no decode;
+      // dirty fragments below are rebuilt tuple by tuple into resident
+      // memory (the copy-on-write half of the epoch contract).
       info.shortcuts[f] = old.shortcuts[f];
-      for (const PathTuple& t : info.shortcuts[f].tuples()) {
+      info.shortcuts[f].ForEach([&](const PathTuple& t) {
         auto it = old.witness.find(PairKey(t.src, t.dst));
         if (it != old.witness.end()) {
           info.witness.emplace(it->first, it->second);
         }
-      }
+      });
       info.total_tuples += info.shortcuts[f].size();
       ++out.reused_fragments;
       continue;

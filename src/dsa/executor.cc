@@ -392,16 +392,16 @@ RouteAnswer AssembleRouteAnswer(const Fragmentation& frag,
     for (size_t i = 0; i < hop_specs.size(); ++i) {
       const Relation& rel = results[hop_specs[i]].paths;
       std::unordered_map<NodeId, Weight> next;
-      for (const PathTuple& t : rel.tuples()) {
+      rel.ForEach([&](const PathTuple& t) {
         auto it = dist.find(t.src);
-        if (it == dist.end()) continue;
+        if (it == dist.end()) return;
         const Weight d = it->second + t.cost;
         auto [slot, inserted] = next.emplace(t.dst, d);
         if (inserted || d < slot->second) {
           slot->second = d;
           pred[i][t.dst] = t.src;
         }
-      }
+      });
       dist = std::move(next);
     }
     auto it = dist.find(to);

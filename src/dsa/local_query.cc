@@ -16,6 +16,10 @@ Relation AugmentedRelation(const Fragmentation& frag,
   Relation base = Relation::FromEdgeSubset(frag.graph(),
                                            frag.FragmentEdges(f));
   if (complementary != nullptr) {
+    // Append streams the shortcut relation through its cursor: when the
+    // shortcuts are paged, only this fragment's extent is pinned, and only
+    // for the duration of the copy — the keyhole property at the storage
+    // layer.
     base.Append(complementary->ForFragment(f));
     base.AggregateMin();
   }
@@ -39,9 +43,9 @@ Graph BuildAugmentedFragment(const Fragmentation& frag,
     *num_real_edges_out = frag.FragmentEdges(fragment).size();
   }
   if (complementary != nullptr) {
-    for (const PathTuple& t : complementary->ForFragment(fragment).tuples()) {
+    complementary->ForFragment(fragment).ForEach([&](const PathTuple& t) {
       builder.AddEdge(t.src, t.dst, t.cost);
-    }
+    });
   }
   return builder.Build();
 }

@@ -18,9 +18,9 @@ PheDatabase::PheDatabase(const Fragmentation* frag, PheOptions options)
   GraphBuilder builder;
   builder.EnsureNodes(frag_->graph().NumNodes());
   for (FragmentId f = 0; f < frag_->NumFragments(); ++f) {
-    for (const PathTuple& t : complementary_.ForFragment(f).tuples()) {
+    complementary_.ForFragment(f).ForEach([&](const PathTuple& t) {
       builder.AddEdge(t.src, t.dst, t.cost);
-    }
+    });
   }
   builder.DeduplicateEdges();
   backbone_ = builder.Build();

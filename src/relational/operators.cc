@@ -4,52 +4,57 @@
 
 namespace tcf {
 
+// Every operator consumes its inputs through the cursor API (ForEach), so
+// a paged relation streams out of pinned buffer-pool pages tuple run by
+// tuple run — the operators never require a resident copy of their inputs,
+// only of their (small) outputs.
+
 Relation SelectBySrc(const Relation& r, const NodeSet& set) {
   Relation out;
-  for (const PathTuple& t : r.tuples()) {
+  r.ForEach([&](const PathTuple& t) {
     if (set.count(t.src)) out.Add(t);
-  }
+  });
   return out;
 }
 
 Relation SelectByDst(const Relation& r, const NodeSet& set) {
   Relation out;
-  for (const PathTuple& t : r.tuples()) {
+  r.ForEach([&](const PathTuple& t) {
     if (set.count(t.dst)) out.Add(t);
-  }
+  });
   return out;
 }
 
 Relation Select(const Relation& r,
                 const std::function<bool(const PathTuple&)>& pred) {
   Relation out;
-  for (const PathTuple& t : r.tuples()) {
+  r.ForEach([&](const PathTuple& t) {
     if (pred(t)) out.Add(t);
-  }
+  });
   return out;
 }
 
 Relation JoinMinPlus(const Relation& left, const Relation& right,
                      size_t* join_tuples_out) {
-  // Hash the smaller-by-convention right side on src.
-  std::unordered_map<NodeId, std::vector<const PathTuple*>> index;
+  // Hash the smaller-by-convention right side on src. Tuples are stored by
+  // value: a paged right side only lends its blocks for the duration of
+  // the scan.
+  std::unordered_map<NodeId, std::vector<PathTuple>> index;
   index.reserve(right.size());
-  for (const PathTuple& t : right.tuples()) {
-    index[t.src].push_back(&t);
-  }
+  right.ForEach([&](const PathTuple& t) { index[t.src].push_back(t); });
   size_t join_tuples = 0;
   std::unordered_map<uint64_t, Weight> best;
-  for (const PathTuple& l : left.tuples()) {
+  left.ForEach([&](const PathTuple& l) {
     auto it = index.find(l.dst);
-    if (it == index.end()) continue;
-    for (const PathTuple* r : it->second) {
+    if (it == index.end()) return;
+    for (const PathTuple& r : it->second) {
       ++join_tuples;
-      const uint64_t key = PairKey(l.src, r->dst);
-      const Weight cost = l.cost + r->cost;
+      const uint64_t key = PairKey(l.src, r.dst);
+      const Weight cost = l.cost + r.cost;
       auto [slot, inserted] = best.emplace(key, cost);
       if (!inserted && cost < slot->second) slot->second = cost;
     }
-  }
+  });
   if (join_tuples_out != nullptr) *join_tuples_out = join_tuples;
   Relation out;
   out.mutable_tuples().reserve(best.size());
@@ -62,24 +67,22 @@ Relation JoinMinPlus(const Relation& left, const Relation& right,
 
 Relation JoinMaxMin(const Relation& left, const Relation& right,
                     size_t* join_tuples_out) {
-  std::unordered_map<NodeId, std::vector<const PathTuple*>> index;
+  std::unordered_map<NodeId, std::vector<PathTuple>> index;
   index.reserve(right.size());
-  for (const PathTuple& t : right.tuples()) {
-    index[t.src].push_back(&t);
-  }
+  right.ForEach([&](const PathTuple& t) { index[t.src].push_back(t); });
   size_t join_tuples = 0;
   std::unordered_map<uint64_t, Weight> best;
-  for (const PathTuple& l : left.tuples()) {
+  left.ForEach([&](const PathTuple& l) {
     auto it = index.find(l.dst);
-    if (it == index.end()) continue;
-    for (const PathTuple* r : it->second) {
+    if (it == index.end()) return;
+    for (const PathTuple& r : it->second) {
       ++join_tuples;
-      const uint64_t key = PairKey(l.src, r->dst);
-      const Weight capacity = std::min(l.cost, r->cost);
+      const uint64_t key = PairKey(l.src, r.dst);
+      const Weight capacity = std::min(l.cost, r.cost);
       auto [slot, inserted] = best.emplace(key, capacity);
       if (!inserted && capacity > slot->second) slot->second = capacity;
     }
-  }
+  });
   if (join_tuples_out != nullptr) *join_tuples_out = join_tuples;
   Relation out;
   for (const auto& [key, capacity] : best) {
@@ -106,12 +109,12 @@ Relation UnionMax(const Relation& a, const Relation& b) {
 Relation ImprovingTuples(const Relation& candidate, const Relation& best,
                          bool min_plus) {
   Relation out;
-  for (const PathTuple& t : candidate.tuples()) {
+  candidate.ForEach([&](const PathTuple& t) {
     const Weight current = best.BestCost(t.src, t.dst);
     const bool improves =
         min_plus ? (t.cost < current) : (current == kInfinity);
     if (improves) out.Add(t);
-  }
+  });
   // The candidate may itself contain several tuples per pair; keep the best.
   out.AggregateMin();
   return out;
@@ -119,9 +122,9 @@ Relation ImprovingTuples(const Relation& candidate, const Relation& best,
 
 Relation ImprovingTuplesMax(const Relation& candidate, const Relation& best) {
   Relation out;
-  for (const PathTuple& t : candidate.tuples()) {
+  candidate.ForEach([&](const PathTuple& t) {
     if (t.cost > best.MaxCost(t.src, t.dst)) out.Add(t);
-  }
+  });
   out.AggregateMax();
   return out;
 }

@@ -23,7 +23,33 @@ Relation Relation::FromEdgeSubset(const Graph& g,
   return r;
 }
 
+void Relation::Materialize() {
+  if (store_ == nullptr) return;
+  // Keep the store alive until the copy finishes, then drop it: the
+  // relation is memory-resident from here on (copy-on-write).
+  std::shared_ptr<const TupleStore> store = std::move(store_);
+  store_.reset();
+  tuples_.clear();
+  tuples_.reserve(store->size());
+  std::unique_ptr<TupleStore::Cursor> cursor = store->NewCursor();
+  for (std::span<const PathTuple> block = cursor->NextBlock(); !block.empty();
+       block = cursor->NextBlock()) {
+    tuples_.insert(tuples_.end(), block.begin(), block.end());
+  }
+  InvalidateIndexes();
+}
+
+void Relation::Append(const Relation& other) {
+  Materialize();
+  InvalidateIndexes();
+  tuples_.reserve(tuples_.size() + other.size());
+  // Streams `other` through its cursor, so appending a paged relation
+  // copies tuples out of pinned pages without materializing `other`.
+  other.ForEach([this](const PathTuple& t) { tuples_.push_back(t); });
+}
+
 void Relation::AggregateMin() {
+  Materialize();
   std::unordered_map<uint64_t, Weight> best;
   best.reserve(tuples_.size());
   for (const PathTuple& t : tuples_) {
@@ -37,11 +63,11 @@ void Relation::AggregateMin() {
                                 static_cast<NodeId>(key & 0xffffffffu),
                                 cost});
   }
-  index_valid_ = false;
-  max_index_valid_ = false;
+  InvalidateIndexes();
 }
 
 void Relation::AggregateMax() {
+  Materialize();
   std::unordered_map<uint64_t, Weight> best;
   best.reserve(tuples_.size());
   for (const PathTuple& t : tuples_) {
@@ -55,11 +81,12 @@ void Relation::AggregateMax() {
                                 static_cast<NodeId>(key & 0xffffffffu),
                                 cost});
   }
-  index_valid_ = false;
-  max_index_valid_ = false;
+  InvalidateIndexes();
 }
 
 void Relation::SortCanonical() {
+  Materialize();
+  InvalidateIndexes();
   std::sort(tuples_.begin(), tuples_.end(),
             [](const PathTuple& a, const PathTuple& b) {
               if (a.src != b.src) return a.src < b.src;
@@ -69,49 +96,61 @@ void Relation::SortCanonical() {
 }
 
 void Relation::EnsureIndex() const {
-  if (index_valid_) return;
-  index_.clear();
-  index_.reserve(tuples_.size());
-  for (const PathTuple& t : tuples_) {
-    auto [it, inserted] = index_.emplace(PairKey(t.src, t.dst), t.cost);
+  if (lazy_.min_built.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(lazy_.build_mutex);
+  if (lazy_.min_built.load(std::memory_order_relaxed)) return;
+  lazy_.min_index.clear();
+  lazy_.min_index.reserve(size());
+  ForEach([this](const PathTuple& t) {
+    auto [it, inserted] = lazy_.min_index.emplace(PairKey(t.src, t.dst),
+                                                  t.cost);
     if (!inserted && t.cost < it->second) it->second = t.cost;
-  }
-  index_valid_ = true;
+  });
+  lazy_.min_built.store(true, std::memory_order_release);
 }
 
 Weight Relation::BestCost(NodeId src, NodeId dst) const {
   EnsureIndex();
-  auto it = index_.find(PairKey(src, dst));
-  return it == index_.end() ? kInfinity : it->second;
+  auto it = lazy_.min_index.find(PairKey(src, dst));
+  return it == lazy_.min_index.end() ? kInfinity : it->second;
 }
 
 void Relation::EnsureMaxIndex() const {
-  if (max_index_valid_) return;
-  max_index_.clear();
-  max_index_.reserve(tuples_.size());
-  for (const PathTuple& t : tuples_) {
-    auto [it, inserted] = max_index_.emplace(PairKey(t.src, t.dst), t.cost);
+  if (lazy_.max_built.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(lazy_.build_mutex);
+  if (lazy_.max_built.load(std::memory_order_relaxed)) return;
+  lazy_.max_index.clear();
+  lazy_.max_index.reserve(size());
+  ForEach([this](const PathTuple& t) {
+    auto [it, inserted] = lazy_.max_index.emplace(PairKey(t.src, t.dst),
+                                                  t.cost);
     if (!inserted && t.cost > it->second) it->second = t.cost;
-  }
-  max_index_valid_ = true;
+  });
+  lazy_.max_built.store(true, std::memory_order_release);
 }
 
 Weight Relation::MaxCost(NodeId src, NodeId dst) const {
   EnsureMaxIndex();
-  auto it = max_index_.find(PairKey(src, dst));
-  return it == max_index_.end() ? 0.0 : it->second;
+  auto it = lazy_.max_index.find(PairKey(src, dst));
+  return it == lazy_.max_index.end() ? 0.0 : it->second;
 }
 
 std::string Relation::ToString(size_t max_rows) const {
   std::ostringstream os;
-  os << "Relation(" << tuples_.size() << " tuples)";
+  os << "Relation(" << size() << " tuples";
+  if (is_paged()) os << ", paged";
+  os << ")";
   size_t shown = 0;
-  for (const PathTuple& t : tuples_) {
-    if (shown++ == max_rows) {
-      os << "\n  ...";
-      break;
+  Cursor cursor = Scan();
+  for (std::span<const PathTuple> block = cursor.NextBlock(); !block.empty();
+       block = cursor.NextBlock()) {
+    for (const PathTuple& t : block) {
+      if (shown++ == max_rows) {
+        os << "\n  ...";
+        return os.str();
+      }
+      os << "\n  (" << t.src << " -> " << t.dst << ", " << t.cost << ")";
     }
-    os << "\n  (" << t.src << " -> " << t.dst << ", " << t.cost << ")";
   }
   return os.str();
 }

@@ -2,30 +2,33 @@
 // R(src, dst, cost); transitive closure queries are evaluated by iterated
 // relational joins (Sec. 2.1 "a relational join between intermediate result
 // and the relation modeling the graph").
+//
+// A Relation is the *logical* bag of tuples; the bytes live either in a
+// resident std::vector (the common case — operators build results here) or
+// behind an immutable TupleStore (a paged store iterating buffer-pool
+// pinned pages of a database file). Reads that must work in both modes go
+// through Scan()/ForEach(); tuples() is the resident-only fast path. Any
+// mutation of a paged relation first materializes the tuples into the
+// resident vector — paged stores themselves are immutable, so copies of a
+// paged Relation share the store (cheap epoch carry-over) and the mutated
+// copy becomes memory-resident (copy-on-write).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
+#include "relational/tuple_store.h"
+#include "util/status.h"
 
 namespace tcf {
-
-/// One tuple of a path relation: a witnessed path src -> dst of cost `cost`.
-struct PathTuple {
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
-  Weight cost = 0.0;
-
-  bool operator==(const PathTuple& other) const = default;
-};
-
-/// Packs (src, dst) into a 64-bit hash key.
-inline uint64_t PairKey(NodeId src, NodeId dst) {
-  return (static_cast<uint64_t>(src) << 32) | dst;
-}
 
 /// A bag of path tuples with helpers for the aggregation the transitive
 /// closure engine needs (keep the cheapest tuple per (src, dst) pair).
@@ -34,6 +37,38 @@ class Relation {
   Relation() = default;
   explicit Relation(std::vector<PathTuple> tuples)
       : tuples_(std::move(tuples)) {}
+  /// A relation whose tuples live in an immutable store (e.g. a paged
+  /// store over buffer-pool pinned pages). Reads stream through Scan();
+  /// the first mutation materializes the tuples into resident memory.
+  explicit Relation(std::shared_ptr<const TupleStore> store)
+      : store_(std::move(store)) {}
+
+  // Copies share the (immutable) store but never the lazy index cell: the
+  // cell embeds synchronization state that must belong to exactly one
+  // relation. Moved-from relations are empty and index-cold.
+  Relation(const Relation& other)
+      : tuples_(other.tuples_), store_(other.store_) {}
+  Relation& operator=(const Relation& other) {
+    if (this != &other) {
+      tuples_ = other.tuples_;
+      store_ = other.store_;
+      InvalidateIndexes();
+    }
+    return *this;
+  }
+  Relation(Relation&& other) noexcept
+      : tuples_(std::move(other.tuples_)), store_(std::move(other.store_)) {
+    other.InvalidateIndexes();
+  }
+  Relation& operator=(Relation&& other) noexcept {
+    if (this != &other) {
+      tuples_ = std::move(other.tuples_);
+      store_ = std::move(other.store_);
+      InvalidateIndexes();
+      other.InvalidateIndexes();
+    }
+    return *this;
+  }
 
   /// Base relation of a whole graph: one tuple per edge.
   static Relation FromGraph(const Graph& g);
@@ -41,29 +76,81 @@ class Relation {
   static Relation FromEdgeSubset(const Graph& g,
                                  const std::vector<EdgeId>& edge_ids);
 
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
-  const std::vector<PathTuple>& tuples() const { return tuples_; }
+  size_t size() const {
+    return store_ != nullptr ? store_->size() : tuples_.size();
+  }
+  bool empty() const { return size() == 0; }
+  /// True when the tuples live behind a TupleStore (not resident memory).
+  bool is_paged() const { return store_ != nullptr; }
+
+  /// Resident-only direct access. A paged relation has no resident vector
+  /// to expose — stream it with Scan()/ForEach() instead, or Materialize()
+  /// first if a vector is genuinely required.
+  const std::vector<PathTuple>& tuples() const {
+    TCF_CHECK_MSG(store_ == nullptr,
+                  "Relation::tuples() on a paged relation; use Scan()");
+    return tuples_;
+  }
   std::vector<PathTuple>& mutable_tuples() {
+    Materialize();
     InvalidateIndexes();
     return tuples_;
   }
 
+  /// A scan over all tuples, resident or paged. Value type: destroying it
+  /// releases whatever the scan holds (for paged relations, the buffer-pool
+  /// pin). Blocks are valid until the next NextBlock() call.
+  class Cursor {
+   public:
+    std::span<const PathTuple> NextBlock() {
+      if (impl_ != nullptr) return impl_->NextBlock();
+      return std::exchange(resident_, {});
+    }
+
+   private:
+    friend class Relation;
+    explicit Cursor(std::span<const PathTuple> resident)
+        : resident_(resident) {}
+    explicit Cursor(std::unique_ptr<TupleStore::Cursor> impl)
+        : impl_(std::move(impl)) {}
+
+    std::span<const PathTuple> resident_;
+    std::unique_ptr<TupleStore::Cursor> impl_;
+  };
+
+  Cursor Scan() const {
+    if (store_ != nullptr) return Cursor(store_->NewCursor());
+    return Cursor(std::span<const PathTuple>(tuples_));
+  }
+
+  /// Visit every tuple: `fn(const PathTuple&)`. The pin-lifetime rule in
+  /// one helper — any page pinned for the scan is released on return.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    Cursor cursor = Scan();
+    for (std::span<const PathTuple> block = cursor.NextBlock();
+         !block.empty(); block = cursor.NextBlock()) {
+      for (const PathTuple& t : block) fn(t);
+    }
+  }
+
+  /// Pull the tuples of a paged relation into resident memory and drop the
+  /// store reference. No-op for resident relations.
+  void Materialize();
+
   void Add(PathTuple t) {
+    Materialize();
     InvalidateIndexes();
     tuples_.push_back(t);
   }
   void Add(NodeId src, NodeId dst, Weight cost) {
     Add(PathTuple{src, dst, cost});
   }
-  void Append(const Relation& other) {
-    InvalidateIndexes();
-    tuples_.insert(tuples_.end(), other.tuples_.begin(),
-                   other.tuples_.end());
-  }
+  void Append(const Relation& other);
   void Clear() {
     InvalidateIndexes();
     tuples_.clear();
+    store_.reset();
   }
 
   /// Collapse duplicates: keep the minimum cost per (src, dst).
@@ -76,14 +163,15 @@ class Relation {
   void SortCanonical();
 
   /// Lookup the best (minimum) cost for (src, dst); kInfinity if absent.
-  /// Builds a hash index on first use; invalidated by any mutation after
-  /// that. The lazy build means a *const* Relation is not safe to query
-  /// from several threads until the indexes exist — see WarmIndexes().
+  /// The lookup index is built lazily on first use under a double-checked
+  /// lock, so a *const* Relation is safe to query from any number of
+  /// threads with no warm-up ritual (the usual contract: reads may not
+  /// run concurrently with mutations). Any mutation invalidates the
+  /// indexes; the next lookup rebuilds.
   Weight BestCost(NodeId src, NodeId dst) const;
-  /// Builds both lookup indexes now. Call once, single-threaded, before
-  /// sharing a read-only Relation across threads: afterwards BestCost /
-  /// MaxCost / Contains are pure reads and safe to call concurrently (as
-  /// long as nobody mutates the relation).
+  /// Builds both lookup indexes now. Purely a warm hint — lookups are
+  /// thread-safe without it — that moves the one-time build cost to a
+  /// moment of the caller's choosing; a no-op once the indexes exist.
   void WarmIndexes() const {
     EnsureIndex();
     EnsureMaxIndex();
@@ -97,18 +185,34 @@ class Relation {
   std::string ToString(size_t max_rows = 32) const;
 
  private:
+  // Lazy lookup indexes, built on first BestCost/MaxCost via double-checked
+  // locking (the resettable equivalent of std::call_once: mutation must be
+  // able to re-arm the build, which a once_flag cannot).
+  struct LazyIndexes {
+    std::mutex build_mutex;
+    std::atomic<bool> min_built{false};
+    std::atomic<bool> max_built{false};
+    std::unordered_map<uint64_t, Weight> min_index;
+    std::unordered_map<uint64_t, Weight> max_index;
+  };
+
+  // Requires exclusive access (mutation contract).
   void InvalidateIndexes() {
-    index_valid_ = false;
-    max_index_valid_ = false;
+    if (lazy_.min_built.load(std::memory_order_relaxed)) {
+      lazy_.min_built.store(false, std::memory_order_relaxed);
+      lazy_.min_index.clear();
+    }
+    if (lazy_.max_built.load(std::memory_order_relaxed)) {
+      lazy_.max_built.store(false, std::memory_order_relaxed);
+      lazy_.max_index.clear();
+    }
   }
   void EnsureIndex() const;
   void EnsureMaxIndex() const;
 
   std::vector<PathTuple> tuples_;
-  mutable std::unordered_map<uint64_t, Weight> index_;
-  mutable bool index_valid_ = false;
-  mutable std::unordered_map<uint64_t, Weight> max_index_;
-  mutable bool max_index_valid_ = false;
+  std::shared_ptr<const TupleStore> store_;
+  mutable LazyIndexes lazy_;
 };
 
 }  // namespace tcf

@@ -41,6 +41,10 @@ void Aggregate(Relation* r, const TcOptions& options) {
   }
 }
 
+// A paged `base` is consumed through the cursor API throughout: the
+// selection operators stream it, Compose hashes it block by block, and the
+// unrestricted copy below shares the immutable store until the first
+// aggregation materializes the (already small) working relation.
 Relation RestrictSources(const Relation& base, const TcOptions& options) {
   if (!options.sources.has_value()) return base;
   return SelectBySrc(base, *options.sources);

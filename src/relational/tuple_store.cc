@@ -1,0 +1,24 @@
+#include "relational/tuple_store.h"
+
+#include <utility>
+
+namespace tcf {
+
+class VectorTupleStore::VectorCursor final : public TupleStore::Cursor {
+ public:
+  explicit VectorCursor(std::span<const PathTuple> tuples)
+      : remaining_(tuples) {}
+
+  std::span<const PathTuple> NextBlock() override {
+    return std::exchange(remaining_, {});
+  }
+
+ private:
+  std::span<const PathTuple> remaining_;
+};
+
+std::unique_ptr<TupleStore::Cursor> VectorTupleStore::NewCursor() const {
+  return std::make_unique<VectorCursor>(std::span<const PathTuple>(tuples_));
+}
+
+}  // namespace tcf

@@ -1,0 +1,75 @@
+// The physical-storage seam under Relation: a logical relation iterates
+// its tuples through a TupleStore cursor, so the same relational operators
+// run over an in-memory vector (VectorTupleStore) or over buffer-pool
+// pinned pages of a database file (storage/paged_tuple_store.h) — the way
+// disk-resident query engines separate logical relations from their
+// physical tuple storage (docs/ARCHITECTURE.md "The TupleStore seam").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tcf {
+
+/// One tuple of a path relation: a witnessed path src -> dst of cost `cost`.
+struct PathTuple {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Weight cost = 0.0;
+
+  bool operator==(const PathTuple& other) const = default;
+};
+
+/// Packs (src, dst) into a 64-bit hash key.
+inline uint64_t PairKey(NodeId src, NodeId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+
+/// Immutable physical tuple storage. A store outlives every cursor it
+/// hands out; a const store may be scanned from any number of threads
+/// concurrently (each thread with its own cursor).
+class TupleStore {
+ public:
+  /// A scan in progress. NextBlock() yields runs of tuples until an empty
+  /// span signals the end; each returned span is valid only until the next
+  /// NextBlock() call or cursor destruction. Any resources the scan holds
+  /// (buffer-pool pins, decode buffers) live exactly as long as the
+  /// cursor. A cursor must not be shared across threads.
+  class Cursor {
+   public:
+    virtual ~Cursor() = default;
+    virtual std::span<const PathTuple> NextBlock() = 0;
+  };
+
+  virtual ~TupleStore() = default;
+
+  /// Number of tuples a full scan yields.
+  virtual uint64_t size() const = 0;
+
+  /// Start a fresh scan over all tuples.
+  virtual std::unique_ptr<Cursor> NewCursor() const = 0;
+};
+
+/// The in-memory implementation: tuples in a vector, scanned as one block.
+class VectorTupleStore final : public TupleStore {
+ public:
+  explicit VectorTupleStore(std::vector<PathTuple> tuples)
+      : tuples_(std::move(tuples)) {}
+
+  uint64_t size() const override { return tuples_.size(); }
+  std::unique_ptr<Cursor> NewCursor() const override;
+
+  const std::vector<PathTuple>& tuples() const { return tuples_; }
+
+ private:
+  class VectorCursor;
+
+  std::vector<PathTuple> tuples_;
+};
+
+}  // namespace tcf

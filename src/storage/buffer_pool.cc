@@ -45,6 +45,7 @@ Result<BufferPool::PageRef> BufferPool::Pin(uint64_t page_index) {
   if (it != page_to_frame_.end()) {
     Frame& frame = frames_[it->second];
     ++frame.pin_count;
+    if (frame.pin_count == 1) NotePinnedLocked();
     frame.referenced = true;
     ++stats_.hits;
     return PageRef(this, it->second, page_index, FrameData(it->second));
@@ -52,7 +53,10 @@ Result<BufferPool::PageRef> BufferPool::Pin(uint64_t page_index) {
 
   ++stats_.misses;
   Result<size_t> victim = FindVictimLocked();
-  if (!victim.ok()) return victim.status();
+  if (!victim.ok()) {
+    ++stats_.pin_failures;
+    return victim.status();
+  }
   const size_t frame_idx = victim.value();
   TCF_RETURN_NOT_OK(EvictLocked(frame_idx));
 
@@ -66,6 +70,7 @@ Result<BufferPool::PageRef> BufferPool::Pin(uint64_t page_index) {
   frame.occupied = true;
   frame.dirty = false;
   frame.referenced = true;
+  NotePinnedLocked();
   page_to_frame_[page_index] = frame_idx;
   return PageRef(this, frame_idx, page_index, FrameData(frame_idx));
 }
@@ -87,8 +92,9 @@ Result<size_t> BufferPool::FindVictimLocked() {
     return candidate;
   }
   return Status::FailedPrecondition(
-      "BufferPool: all " + std::to_string(frames_.size()) +
-      " frames are pinned; cannot evict");
+      "BufferPool: cannot evict: all " + std::to_string(frames_.size()) +
+      " frames hold pinned pages (" + std::to_string(stats_.pinned_frames) +
+      " pinned); release a PageRef or open with more frames");
 }
 
 Status BufferPool::EvictLocked(size_t frame_idx) {
@@ -131,6 +137,10 @@ void BufferPool::Unpin(size_t frame_idx) {
   Frame& frame = frames_[frame_idx];
   TCF_CHECK(frame.pin_count > 0);
   --frame.pin_count;
+  if (frame.pin_count == 0) {
+    TCF_CHECK(stats_.pinned_frames > 0);
+    --stats_.pinned_frames;
+  }
 }
 
 void BufferPool::MarkDirty(size_t frame_idx) {

@@ -7,6 +7,7 @@
 // tests hammer it directly (tests/buffer_pool_test.cc).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -20,12 +21,24 @@ namespace tcf {
 
 /// Counters for observability and tests. A hit is a Pin() that found the
 /// page resident; an eviction is a frame reassigned to a new page; a
-/// writeback is a dirty frame written to the store (eviction or flush).
+/// writeback is a dirty frame written to the store (eviction or flush); a
+/// pin failure is a Pin() rejected because every frame was pinned.
+/// `pinned_frames` / `peak_pinned_frames` count frames with at least one
+/// outstanding pin (now / high-water) — the "peak pinned pages" series the
+/// paged-query bench reports.
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t writebacks = 0;
+  uint64_t pin_failures = 0;
+  uint64_t pinned_frames = 0;
+  uint64_t peak_pinned_frames = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
 };
 
 /// Thread-safe (one coarse mutex — the pool serializes its PageStore, which
@@ -69,8 +82,10 @@ class BufferPool {
   };
 
   /// Pin page `page_index`, faulting it in from the store on a miss.
-  /// Fails with kFailedPrecondition if every frame is pinned, or with the
-  /// store's error if the read fails.
+  /// Fails with a descriptive kFailedPrecondition Status (never a crash)
+  /// if every frame is pinned — callers observe pool exhaustion and can
+  /// shed, retry, or read around the pool — or with the store's error if
+  /// the read fails.
   Result<PageRef> Pin(uint64_t page_index);
 
   /// Write every dirty frame back to the store and Sync() it.
@@ -89,9 +104,14 @@ class BufferPool {
     bool referenced = false;  // clock second-chance bit
   };
 
-  // Both require `mutex_` held.
+  // All require `mutex_` held.
   Result<size_t> FindVictimLocked();
   Status EvictLocked(size_t frame);
+  void NotePinnedLocked() {
+    ++stats_.pinned_frames;
+    stats_.peak_pinned_frames =
+        std::max(stats_.peak_pinned_frames, stats_.pinned_frames);
+  }
 
   // Called by PageRef; take the mutex themselves.
   void Unpin(size_t frame);

@@ -35,11 +35,10 @@ constexpr size_t kProbeVersionOffset = kPageHeaderSize + 8;
 constexpr size_t kProbePageSizeOffset = kPageHeaderSize + 12;
 constexpr size_t kProbeBytes = kProbePageSizeOffset + 4;
 
-/// A run of pages holding one serialized blob.
-struct Extent {
-  uint64_t first_page = 0;
-  uint64_t byte_len = 0;
-};
+// A run of pages holding one serialized blob: storage/paged_tuple_store.h's
+// PageExtent — shared with the paged relations, which address fragment
+// shortcut blobs by exactly these directory extents.
+using Extent = PageExtent;
 
 /// One fragment's entry in the fragment directory.
 struct DirectoryEntry {
@@ -96,8 +95,11 @@ std::string EncodeAssignmentBlob(const Fragmentation& frag) {
 std::string EncodeShortcutBlob(const Relation& shortcuts) {
   // Complementary precompute runs border-node searches on a pool, so tuple
   // arrival order is scheduling-dependent; sort a copy canonically so the
-  // same database always produces the same bytes.
-  std::vector<PathTuple> tuples = shortcuts.tuples();
+  // same database always produces the same bytes. The copy streams through
+  // the cursor API, so re-saving a paged-open database works too.
+  std::vector<PathTuple> tuples;
+  tuples.reserve(shortcuts.size());
+  shortcuts.ForEach([&](const PathTuple& t) { tuples.push_back(t); });
   std::sort(tuples.begin(), tuples.end(),
             [](const PathTuple& a, const PathTuple& b) {
               if (a.src != b.src) return a.src < b.src;
@@ -331,6 +333,26 @@ class PoolPageSource final : public PageSource {
  private:
   std::unique_ptr<FilePageStore> store_;
   BufferPool pool_;
+};
+
+/// Paged-open path: the same pool the paged relations will use afterwards,
+/// so open-time verification warms the very frames queries read through.
+class SharedPoolPageSource final : public PageSource {
+ public:
+  explicit SharedPoolPageSource(std::shared_ptr<PagedFile> file)
+      : file_(std::move(file)) {}
+
+  uint64_t page_count() const override { return file_->page_count(); }
+  size_t page_size() const override { return file_->page_size(); }
+
+  Status ReadPayload(uint64_t index, std::string* out) override {
+    Result<BufferPool::PageRef> ref = file_->pool().Pin(index);
+    if (!ref.ok()) return ref.status();
+    return CheckAndAppend({ref.value().data(), page_size()}, index, out);
+  }
+
+ private:
+  std::shared_ptr<PagedFile> file_;
 };
 
 /// Reassemble the blob stored in `extent`. Every page of the run must be
@@ -742,7 +764,19 @@ Result<StoredDatabase> OpenDatabase(const std::string& path,
   const size_t page_size = probed.value();
 
   std::unique_ptr<PageSource> source;
-  if (options.use_mmap) {
+  std::shared_ptr<PagedFile> paged_file;
+  if (options.mode == OpenMode::kPaged) {
+    size_t frames = options.buffer_pool_frames;
+    if (options.memory_budget_bytes > 0) {
+      frames = options.memory_budget_bytes / page_size;
+    }
+    frames = std::max<size_t>(frames, 2);
+    Result<std::shared_ptr<PagedFile>> file =
+        PagedFile::Open(path, page_size, frames);
+    if (!file.ok()) return file.status();
+    paged_file = std::move(file).value();
+    source = std::make_unique<SharedPoolPageSource>(paged_file);
+  } else if (options.use_mmap) {
     Result<MmapFile> mapped = MmapFile::Map(path);
     if (!mapped.ok()) return mapped.status();
     if (mapped.value().bytes().size() % page_size != 0) {
@@ -830,11 +864,23 @@ Result<StoredDatabase> OpenDatabase(const std::string& path,
         *source, directory[f].extent,
         ("fragment " + std::to_string(f) + " shortcuts").c_str());
     if (!blob.ok()) return blob.status();
+    // Decode (and thereby validate — tuple counts, border membership,
+    // finite costs) even when opening paged: the corruption contract is
+    // identical in both modes, and the transient decode is bounded by one
+    // fragment's blob at a time.
     Result<Relation> shortcuts =
         DecodeShortcutBlob(blob.value(), directory[f], *frag, f);
     if (!shortcuts.ok()) return shortcuts.status();
     total_tuples += shortcuts.value().size();
-    complementary.shortcuts.push_back(std::move(shortcuts).value());
+    if (options.mode == OpenMode::kPaged) {
+      // Discard the decoded copy; queries re-read tuples lazily through
+      // the shared pool, pinning only the extents their plans touch.
+      complementary.shortcuts.push_back(
+          Relation(std::make_shared<PagedTupleStore>(
+              paged_file, directory[f].extent, directory[f].tuple_count)));
+    } else {
+      complementary.shortcuts.push_back(std::move(shortcuts).value());
+    }
   }
   if (sb.has_complementary && total_tuples != sb.comp_total_tuples) {
     return Status::InvalidArgument(
@@ -864,14 +910,17 @@ Result<StoredDatabase> OpenDatabase(const std::string& path,
   stored.graph = std::move(graph);
   stored.frag = std::move(frag);
   stored.db = std::move(db);
+  stored.paged_file = std::move(paged_file);
   return stored;
 }
 
 Result<std::unique_ptr<MaintainedDatabase>> OpenMaintainedDatabase(
-    const std::string& path, const OpenOptions& options) {
+    const std::string& path, const OpenOptions& options,
+    std::shared_ptr<PagedFile>* paged_file_out) {
   Result<StoredDatabase> stored = OpenDatabase(path, options);
   if (!stored.ok()) return stored.status();
   StoredDatabase sd = std::move(stored).value();
+  if (paged_file_out != nullptr) *paged_file_out = sd.paged_file;
   DsaSnapshot snapshot;
   snapshot.epoch = sd.epoch;
   snapshot.graph = std::move(sd.graph);

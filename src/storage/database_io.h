@@ -23,6 +23,7 @@
 
 #include "dsa/maintenance.h"
 #include "storage/page.h"
+#include "storage/paged_tuple_store.h"
 #include "util/status.h"
 
 namespace tcf {
@@ -33,15 +34,35 @@ struct SaveOptions {
   size_t page_size = kDefaultPageSize;
 };
 
+/// How an opened database holds its fragment shortcut relations.
+enum class OpenMode {
+  /// Decode every blob eagerly into RAM (the PR 9 behavior): fastest to
+  /// query, but resident memory scales with total relation bytes.
+  kResident,
+  /// Shortcut relations stay on disk as lazy paged relations; queries
+  /// stream tuples through buffer-pool pinned pages of the fragments their
+  /// chain plan names. Resident relation memory is bounded by the pool
+  /// (`buffer_pool_frames` / `memory_budget_bytes`), so databases larger
+  /// than RAM serve queries. Implies the buffer-pool read path (no mmap).
+  kPaged,
+};
+
 struct OpenOptions {
   /// Options for the reconstructed DsaDatabase. `use_complementary` must be
   /// false if the file was saved without complementary info.
   DsaOptions dsa;
+  /// Eager-resident or lazy-paged shortcut relations (see OpenMode).
+  OpenMode mode = OpenMode::kResident;
   /// Read via one read-only mmap of the whole file (fast path). When
-  /// false, pages are faulted through a BufferPool instead.
+  /// false, pages are faulted through a BufferPool instead. Ignored under
+  /// OpenMode::kPaged (always the pool).
   bool use_mmap = true;
   /// Frames for the buffer-pool path (ignored under mmap).
   size_t buffer_pool_frames = 256;
+  /// When nonzero and opening paged, size the pool as
+  /// memory_budget_bytes / page_size frames (at least 2) instead of
+  /// `buffer_pool_frames` — the `--memory-budget-mb` knob of tcfragd.
+  size_t memory_budget_bytes = 0;
   /// Verify every page's checksum up front. Leaving this on is the
   /// corruption-detection contract of docs/STORAGE.md; turning it off
   /// skips the whole-file sweep but pages actually decoded are still
@@ -57,6 +78,11 @@ struct StoredDatabase {
   std::shared_ptr<const Graph> graph;
   std::shared_ptr<const Fragmentation> frag;
   std::shared_ptr<const DsaDatabase> db;
+  /// The open file + shared buffer pool behind paged relations (null when
+  /// opened resident). Exposed for pool observability (hit/miss/eviction
+  /// counters in tcfragd stats, bench/storage_io's paged cell); the paged
+  /// relations themselves keep the file alive regardless.
+  std::shared_ptr<PagedFile> paged_file;
 };
 
 /// Serialize `db` (graph, fragment assignment, complementary shortcuts +
@@ -80,7 +106,12 @@ Result<StoredDatabase> OpenDatabase(const std::string& path,
 
 /// Open as a MaintainedDatabase that resumes updates at stored_epoch + 1
 /// (the snapshot-adopting constructor; no refragmentation, no recompute).
+/// Under OpenMode::kPaged, `paged_file_out` (if non-null) receives the
+/// shared file/pool handle for stats; epochs copy-on-write: a fragment
+/// dirtied by an update is rebuilt memory-resident while clean fragments
+/// keep reading from their immutable paged extents.
 Result<std::unique_ptr<MaintainedDatabase>> OpenMaintainedDatabase(
-    const std::string& path, const OpenOptions& options = {});
+    const std::string& path, const OpenOptions& options = {},
+    std::shared_ptr<PagedFile>* paged_file_out = nullptr);
 
 }  // namespace tcf

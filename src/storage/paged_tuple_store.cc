@@ -1,0 +1,167 @@
+#include "storage/paged_tuple_store.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace tcf {
+
+Result<std::shared_ptr<PagedFile>> PagedFile::Open(const std::string& path,
+                                                   size_t page_size,
+                                                   size_t num_frames) {
+  auto store = FilePageStore::Open(path, page_size, /*read_only=*/true);
+  if (!store.ok()) return store.status();
+  return std::shared_ptr<PagedFile>(new PagedFile(
+      std::move(store).value(), num_frames > 0 ? num_frames : 1, path));
+}
+
+PagedFile::PagedFile(std::unique_ptr<FilePageStore> store, size_t num_frames,
+                     std::string path)
+    : store_(std::move(store)), path_(std::move(path)) {
+  pool_ = std::make_unique<BufferPool>(store_.get(), num_frames);
+}
+
+namespace {
+
+/// On-disk tuple layout (docs/STORAGE.md "Shortcut blob").
+constexpr size_t kTupleBytes = 16;
+/// Leading u64 tuple count of the blob.
+constexpr size_t kBlobHeaderBytes = 8;
+
+PathTuple DecodeTuple(const uint8_t* p) {
+  PathTuple t;
+  t.src = LoadU32(p);
+  t.dst = LoadU32(p + 4);
+  t.cost = std::bit_cast<double>(LoadU64(p + 8));
+  return t;
+}
+
+}  // namespace
+
+/// Walks the extent page by page, decoding each page's worth of tuples into
+/// a resident block. At most one page is pinned at any moment, and only
+/// while its tuples are being decoded — the returned block is a copy, so
+/// the pin is released before NextBlock() returns. A tuple straddling a
+/// page boundary is reassembled through a 16-byte carry buffer.
+class PagedTupleStore::PageCursor final : public TupleStore::Cursor {
+ public:
+  explicit PageCursor(const PagedTupleStore* store)
+      : store_(store),
+        capacity_(PagePayloadCapacity(store->file()->page_size())) {}
+
+  std::span<const PathTuple> NextBlock() override {
+    block_.clear();
+    const uint64_t byte_len = store_->extent().byte_len;
+    while (block_.empty() && emitted_ < store_->size()) {
+      const uint64_t page_offset = page_ordinal_ * capacity_;
+      TCF_CHECK_MSG(page_offset < byte_len,
+                    "paged tuple scan ran past its extent");
+      const size_t payload_len = static_cast<size_t>(
+          std::min<uint64_t>(capacity_, byte_len - page_offset));
+      const uint8_t* page = AcquirePage(
+          store_->extent().first_page + page_ordinal_, payload_len);
+      DecodePayload(page + kPageHeaderSize, payload_len,
+                    /*skip=*/page_ordinal_ == 0 ? kBlobHeaderBytes : 0);
+      ++page_ordinal_;
+      pin_ = BufferPool::PageRef();  // block_ is a copy; release the pin now
+    }
+    return block_;
+  }
+
+ private:
+  /// Pin the page through the pool; if every frame is pinned, fall back to
+  /// a direct read into a local buffer so the scan still completes (the
+  /// pool's capacity bounds cached pages, not correctness). Bypass reads
+  /// come fresh from disk, so they re-verify the page checksum; pooled
+  /// pages were verified when first faulted in by OpenDatabase's sweep.
+  const uint8_t* AcquirePage(uint64_t page_index, size_t payload_len) {
+    const size_t page_size = store_->file()->page_size();
+    const uint8_t* bytes = nullptr;
+    Result<BufferPool::PageRef> ref = store_->file()->pool().Pin(page_index);
+    if (ref.ok()) {
+      pin_ = std::move(ref).value();
+      bytes = pin_.data();
+    } else {
+      TCF_CHECK_MSG(ref.status().code() == StatusCode::kFailedPrecondition,
+                    "paged tuple scan: pin failed: " +
+                        ref.status().ToString());
+      bypass_.resize(page_size);
+      const Status read = store_->file()->ReadPageBypass(page_index,
+                                                         bypass_.data());
+      TCF_CHECK_MSG(read.ok(),
+                    "paged tuple scan: bypass read failed: " +
+                        read.ToString());
+      Result<PageHeader> header =
+          CheckPage({bypass_.data(), page_size}, page_index);
+      TCF_CHECK_MSG(header.ok(), "paged tuple scan: page corrupt: " +
+                                     header.status().ToString());
+      bytes = bypass_.data();
+    }
+    // The page fill pattern was validated against the directory extent at
+    // open; a disagreement here means the file changed under us.
+    const uint32_t stored_len = LoadU32(bytes + 16);  // header payload_len
+    TCF_CHECK_MSG(stored_len == payload_len,
+                  "paged tuple scan: page " + std::to_string(page_index) +
+                      " payload length changed since open");
+    return bytes;
+  }
+
+  void DecodePayload(const uint8_t* payload, size_t payload_len,
+                     size_t skip) {
+    size_t pos = skip;
+    while (pos < payload_len && emitted_ < store_->size()) {
+      if (carry_len_ > 0) {
+        const size_t take =
+            std::min(kTupleBytes - carry_len_, payload_len - pos);
+        std::memcpy(carry_.data() + carry_len_, payload + pos, take);
+        carry_len_ += take;
+        pos += take;
+        if (carry_len_ == kTupleBytes) {
+          block_.push_back(DecodeTuple(carry_.data()));
+          ++emitted_;
+          carry_len_ = 0;
+        }
+        continue;
+      }
+      const size_t whole = std::min<uint64_t>(
+          (payload_len - pos) / kTupleBytes, store_->size() - emitted_);
+      for (size_t i = 0; i < whole; ++i) {
+        block_.push_back(DecodeTuple(payload + pos));
+        pos += kTupleBytes;
+      }
+      emitted_ += whole;
+      const size_t remainder = payload_len - pos;
+      if (remainder > 0 && emitted_ < store_->size()) {
+        std::memcpy(carry_.data(), payload + pos, remainder);
+        carry_len_ = remainder;
+        pos = payload_len;
+      }
+    }
+  }
+
+  const PagedTupleStore* store_;
+  const size_t capacity_;
+  uint64_t page_ordinal_ = 0;  // page within the extent
+  uint64_t emitted_ = 0;
+  BufferPool::PageRef pin_;
+  std::vector<uint8_t> bypass_;
+  std::array<uint8_t, kTupleBytes> carry_{};
+  size_t carry_len_ = 0;
+  std::vector<PathTuple> block_;
+};
+
+PagedTupleStore::PagedTupleStore(std::shared_ptr<PagedFile> file,
+                                 PageExtent extent, uint64_t tuple_count)
+    : file_(std::move(file)), extent_(extent), tuple_count_(tuple_count) {
+  TCF_CHECK(file_ != nullptr);
+}
+
+std::unique_ptr<TupleStore::Cursor> PagedTupleStore::NewCursor() const {
+  return std::make_unique<PageCursor>(this);
+}
+
+}  // namespace tcf

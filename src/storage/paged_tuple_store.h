@@ -1,0 +1,84 @@
+// The page-resident TupleStore: tuples of one fragment's shortcut relation
+// decoded on demand out of the fragment's page extent, faulted through the
+// database's shared BufferPool. This is what turns the pool from an
+// open-time cache into the query-time memory manager — a query pins only
+// the pages of the extents its chain plan names, and each pin lives only
+// while the scanning cursor decodes that page (docs/ARCHITECTURE.md "The
+// TupleStore seam", docs/STORAGE.md "Fragment directory").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "relational/tuple_store.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "util/status.h"
+
+namespace tcf {
+
+/// A contiguous run of pages holding one serialized blob: pages
+/// [first_page, first_page + ceil(byte_len / payload_capacity)), every page
+/// full except the last (docs/STORAGE.md "Extents").
+struct PageExtent {
+  uint64_t first_page = 0;
+  uint64_t byte_len = 0;
+};
+
+/// One open database file plus the BufferPool that every paged relation of
+/// that database shares. Held by shared_ptr from each PagedTupleStore (and
+/// from StoredDatabase for stats), so the file outlives the last relation
+/// that reads from it.
+class PagedFile {
+ public:
+  /// Open `path` read-only with a pool of `num_frames` frames.
+  static Result<std::shared_ptr<PagedFile>> Open(const std::string& path,
+                                                 size_t page_size,
+                                                 size_t num_frames);
+
+  size_t page_size() const { return store_->page_size(); }
+  uint64_t page_count() const { return store_->page_count(); }
+  BufferPool& pool() { return *pool_; }
+  const std::string& path() const { return path_; }
+  BufferPoolStats stats() const { return pool_->stats(); }
+
+  /// Read a page around the pool into `out` (page_size bytes) — the
+  /// overflow path a cursor takes when every frame is pinned, so scans
+  /// always complete. Safe concurrently with pool faults: FilePageStore
+  /// reads are stateless positional pread calls.
+  Status ReadPageBypass(uint64_t index, uint8_t* out) {
+    return store_->ReadPage(index, out);
+  }
+
+ private:
+  PagedFile(std::unique_ptr<FilePageStore> store, size_t num_frames,
+            std::string path);
+
+  std::unique_ptr<FilePageStore> store_;
+  std::unique_ptr<BufferPool> pool_;
+  std::string path_;
+};
+
+/// A TupleStore over one shortcut-blob extent (u64 tuple count, then 16
+/// bytes per tuple: u32 src, u32 dst, f64 cost — little-endian; tuples may
+/// straddle page boundaries). Immutable: cursors decode, nothing writes.
+class PagedTupleStore final : public TupleStore {
+ public:
+  PagedTupleStore(std::shared_ptr<PagedFile> file, PageExtent extent,
+                  uint64_t tuple_count);
+
+  uint64_t size() const override { return tuple_count_; }
+  std::unique_ptr<Cursor> NewCursor() const override;
+
+  const PageExtent& extent() const { return extent_; }
+  const std::shared_ptr<PagedFile>& file() const { return file_; }
+
+ private:
+  class PageCursor;
+
+  std::shared_ptr<PagedFile> file_;
+  PageExtent extent_;
+  uint64_t tuple_count_;
+};
+
+}  // namespace tcf

@@ -298,10 +298,48 @@ TEST_F(BufferPoolTest, AllFramesPinnedFailsCleanly) {
   auto c = pool.Pin(2);
   ASSERT_FALSE(c.ok());
   EXPECT_EQ(c.status().code(), StatusCode::kFailedPrecondition);
+  // The status is descriptive: it names the pool size, the pinned count,
+  // and what the caller can do about it.
+  const std::string message = c.status().message();
+  EXPECT_NE(message.find("all 2 frames"), std::string::npos) << message;
+  EXPECT_NE(message.find("2 pinned"), std::string::npos) << message;
+  EXPECT_NE(message.find("release a PageRef"), std::string::npos) << message;
+  EXPECT_EQ(pool.stats().pin_failures, 1u);
   // Releasing a pin frees a frame.
   a = BufferPool::PageRef();
   auto retry = pool.Pin(2);
   EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(pool.stats().pin_failures, 1u);  // the retry succeeded
+}
+
+TEST_F(BufferPoolTest, PinnedFrameCountersTrackLiveAndPeak) {
+  FillStore(4);
+  BufferPool pool(&store_, 4);
+  EXPECT_EQ(pool.stats().pinned_frames, 0u);
+  EXPECT_EQ(pool.stats().peak_pinned_frames, 0u);
+  {
+    auto a = pool.Pin(0);
+    auto b = pool.Pin(1);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(pool.stats().pinned_frames, 2u);
+    EXPECT_EQ(pool.stats().peak_pinned_frames, 2u);
+    {
+      // A second pin of a resident page does not re-count the frame.
+      auto a_again = pool.Pin(0);
+      ASSERT_TRUE(a_again.ok());
+      EXPECT_EQ(pool.stats().pinned_frames, 2u);
+      auto c = pool.Pin(2);
+      ASSERT_TRUE(c.ok());
+      EXPECT_EQ(pool.stats().pinned_frames, 3u);
+      EXPECT_EQ(pool.stats().peak_pinned_frames, 3u);
+    }
+    // Inner refs released: the frame count drops, the peak stays.
+    EXPECT_EQ(pool.stats().pinned_frames, 2u);
+    EXPECT_EQ(pool.stats().peak_pinned_frames, 3u);
+  }
+  EXPECT_EQ(pool.stats().pinned_frames, 0u);
+  EXPECT_EQ(pool.stats().peak_pinned_frames, 3u);
+  EXPECT_EQ(pool.stats().HitRate(), 1.0 / 4.0);  // 1 hit, 3 misses
 }
 
 TEST_F(BufferPoolTest, DirtyPagesWriteBackOnEviction) {

@@ -9,6 +9,7 @@
 //           [--nodes-per-cluster N] [--edges-per-cluster N]
 //           [--fragments N] [--seed N] [--max-batch N]
 //           [--flush-workers N] [--shards N] [--db PATH]
+//           [--memory-budget-mb N]
 //
 // Defaults serve the Table 1 transportation workload (4 clusters x 25
 // nodes) on 127.0.0.1:7411. Talk to it with net/client.h — see
@@ -20,6 +21,11 @@
 // refragmentation — and updates resume at the stored epoch + 1; otherwise
 // the daemon builds from the generator flags as usual and saves to PATH
 // before serving.
+//
+// --memory-budget-mb N (requires --db) opens the database paged: shortcut
+// relations stay on disk and queries stream them through a buffer pool of
+// at most N MiB, so the daemon can serve a database larger than RAM. Pool
+// hit/miss/eviction counters are printed with the shutdown stats.
 //
 // Shutdown ordering matters and is deliberate: the server stops FIRST
 // (drains every in-flight reply onto the wire), the service second — the
@@ -55,7 +61,8 @@ struct Flags {
   size_t max_batch = 64;
   size_t flush_workers = 0;  // 0 = one per hardware thread
   size_t shards = 4;
-  std::string db_path;  // empty = in-memory only
+  std::string db_path;       // empty = in-memory only
+  size_t memory_budget_mb = 0;  // 0 = resident open; >0 = paged open
 };
 
 void Usage(const char* argv0) {
@@ -64,7 +71,8 @@ void Usage(const char* argv0) {
       "usage: %s [--port N] [--bind ADDR] [--clusters N]\n"
       "          [--nodes-per-cluster N] [--edges-per-cluster N]\n"
       "          [--fragments N] [--seed N] [--max-batch N]\n"
-      "          [--flush-workers N] [--shards N] [--db PATH]\n",
+      "          [--flush-workers N] [--shards N] [--db PATH]\n"
+      "          [--memory-budget-mb N]\n",
       argv0);
 }
 
@@ -97,6 +105,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->shards = std::strtoull(v, nullptr, 10);
     } else if (arg == "--db" && (v = next())) {
       flags->db_path = v;
+    } else if (arg == "--memory-budget-mb" && (v = next())) {
+      flags->memory_budget_mb = std::strtoull(v, nullptr, 10);
     } else {
       Usage(argv[0]);
       return false;
@@ -119,10 +129,23 @@ int main(int argc, char** argv) {
   sigaddset(&stop_signals, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
 
+  if (flags.memory_budget_mb > 0 && flags.db_path.empty()) {
+    std::fprintf(stderr,
+                 "tcfragd: --memory-budget-mb requires --db (the budget "
+                 "bounds the buffer pool of a paged-open database)\n");
+    return 2;
+  }
+
   std::unique_ptr<MaintainedDatabase> mdb_storage;
+  std::shared_ptr<PagedFile> paged_file;
   if (!flags.db_path.empty()) {
+    OpenOptions open_opts;
+    if (flags.memory_budget_mb > 0) {
+      open_opts.mode = OpenMode::kPaged;
+      open_opts.memory_budget_bytes = flags.memory_budget_mb << 20;
+    }
     Result<std::unique_ptr<MaintainedDatabase>> opened =
-        OpenMaintainedDatabase(flags.db_path);
+        OpenMaintainedDatabase(flags.db_path, open_opts, &paged_file);
     if (opened.ok()) {
       mdb_storage = std::move(opened).value();
       std::printf(
@@ -132,6 +155,13 @@ int main(int argc, char** argv) {
           mdb_storage->graph().NumEdges(),
           mdb_storage->fragmentation().NumFragments(),
           static_cast<unsigned long long>(mdb_storage->epoch()));
+      if (paged_file != nullptr) {
+        std::printf(
+            "tcfragd: paged mode: %zu MiB budget -> %zu pool frames of "
+            "%zu bytes\n",
+            flags.memory_budget_mb, paged_file->pool().num_frames(),
+            paged_file->page_size());
+      }
     } else if (opened.status().code() != StatusCode::kNotFound) {
       // A present-but-unreadable file is an error, not a rebuild trigger:
       // silently regenerating would shadow the operator's data.
@@ -210,5 +240,17 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.replies_error),
       static_cast<unsigned long long>(stats.connections_accepted),
       static_cast<unsigned long long>(stats.connections_dropped));
+  if (paged_file != nullptr) {
+    const BufferPoolStats pool = paged_file->pool().stats();
+    std::printf(
+        "tcfragd: buffer pool: %llu hits, %llu misses (%.1f%% hit rate), "
+        "%llu evictions, %llu pin failures, peak %llu pinned frames\n",
+        static_cast<unsigned long long>(pool.hits),
+        static_cast<unsigned long long>(pool.misses),
+        100.0 * pool.HitRate(),
+        static_cast<unsigned long long>(pool.evictions),
+        static_cast<unsigned long long>(pool.pin_failures),
+        static_cast<unsigned long long>(pool.peak_pinned_frames));
+  }
   return 0;
 }
