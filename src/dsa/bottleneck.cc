@@ -48,8 +48,12 @@ BottleneckDsa::BottleneckDsa(const Fragmentation* frag, size_t max_chains)
 Relation BottleneckDsa::LocalWidest(FragmentId fragment,
                                     const NodeSet& sources,
                                     const NodeSet& targets) const {
-  Graph augmented =
+  // The capacity complementary is always freshly precomputed (resident),
+  // so augmentation cannot hit a storage error.
+  Result<Graph> built =
       BuildAugmentedFragment(*frag_, &complementary_, fragment);
+  TCF_CHECK_MSG(built.ok(), built.status().ToString());
+  const Graph augmented = std::move(built).value();
   Relation out;
   for (NodeId s : sources) {
     WidestPaths wp = WidestPathsFrom(augmented, s);

@@ -44,15 +44,21 @@ ComplementaryInfo PrecomputeComplementary(const Fragmentation& frag) {
   return info;
 }
 
-ComplementaryRefresh RefreshComplementary(const Fragmentation& frag,
-                                          const Fragmentation& old_frag,
-                                          const ComplementaryInfo& old,
-                                          const ComplementaryDelta& delta) {
-  TCF_CHECK(frag.NumFragments() == old_frag.NumFragments());
+namespace {
+
+// The incremental path of RefreshComplementary. It reads the old epoch's
+// shortcut relations — which may be paged — so any storage failure aborts
+// it with a Status (leaving `*out` partial) and the public wrapper falls
+// back to a full recompute, which needs no old data.
+Status TryRefreshIncremental(const Fragmentation& frag,
+                             const Fragmentation& old_frag,
+                             const ComplementaryInfo& old,
+                             const ComplementaryDelta& delta,
+                             ComplementaryRefresh* out_ptr) {
   const Graph& g = frag.graph();
   const size_t num_frags = frag.NumFragments();
 
-  ComplementaryRefresh out;
+  ComplementaryRefresh& out = *out_ptr;
   ComplementaryInfo& info = out.info;
   info.shortcuts.resize(num_frags);
 
@@ -86,6 +92,17 @@ ComplementaryRefresh RefreshComplementary(const Fragmentation& frag,
           break;
         }
       }
+    }
+  }
+
+  // Rule (c) and the clean-source carry-over below probe the old shortcut
+  // relations through BestCost. Lookups have no error channel, so warm
+  // the lazy indexes first — for a paged relation this is where the store
+  // is actually read, and where a disk fault surfaces as a Status instead
+  // of a crash (relation.h's pre-warm discipline).
+  for (FragmentId f = 0; f < num_frags; ++f) {
+    if (!border_set_changed[f]) {
+      TCF_RETURN_NOT_OK(old.shortcuts[f].WarmIndexes());
     }
   }
 
@@ -141,12 +158,13 @@ ComplementaryRefresh RefreshComplementary(const Fragmentation& frag,
       // dirty fragments below are rebuilt tuple by tuple into resident
       // memory (the copy-on-write half of the epoch contract).
       info.shortcuts[f] = old.shortcuts[f];
-      info.shortcuts[f].ForEach([&](const PathTuple& t) {
-        auto it = old.witness.find(PairKey(t.src, t.dst));
-        if (it != old.witness.end()) {
-          info.witness.emplace(it->first, it->second);
-        }
-      });
+      TCF_RETURN_NOT_OK(
+          info.shortcuts[f].ForEach([&](const PathTuple& t) {
+            auto it = old.witness.find(PairKey(t.src, t.dst));
+            if (it != old.witness.end()) {
+              info.witness.emplace(it->first, it->second);
+            }
+          }));
       info.total_tuples += info.shortcuts[f].size();
       ++out.reused_fragments;
       continue;
@@ -180,6 +198,31 @@ ComplementaryRefresh RefreshComplementary(const Fragmentation& frag,
     rel.SortCanonical();
     info.total_tuples += rel.size();
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+ComplementaryRefresh RefreshComplementary(const Fragmentation& frag,
+                                          const Fragmentation& old_frag,
+                                          const ComplementaryInfo& old,
+                                          const ComplementaryDelta& delta) {
+  TCF_CHECK(frag.NumFragments() == old_frag.NumFragments());
+
+  ComplementaryRefresh out;
+  const Status incremental =
+      TryRefreshIncremental(frag, old_frag, old, delta, &out);
+  if (incremental.ok()) return out;
+
+  // The old epoch's (paged) shortcut relations could not be read. The
+  // full recompute needs nothing from the old epoch, so maintenance
+  // survives a damaged old database at the cost of one epoch's worth of
+  // incremental savings.
+  out = ComplementaryRefresh();
+  out.info = PrecomputeComplementary(frag);
+  out.dirty_fragments = frag.NumFragments();
+  out.dirty_border_nodes = out.info.searches;
+  out.fallback_cause = incremental;
   return out;
 }
 

@@ -74,6 +74,10 @@ struct ComplementaryRefresh {
   size_t reused_border_nodes = 0;  // border nodes whose tuples carried over
   size_t dirty_fragments = 0;      // shortcut relations rebuilt
   size_t reused_fragments = 0;     // shortcut relations copied verbatim
+  /// OK when the incremental path ran; set to the storage error that
+  /// forced a full recompute when reading the old (paged) shortcut
+  /// relations failed. The refreshed info is exact either way.
+  Status fallback_cause = Status::OK();
 };
 
 /// Incrementally refreshes `old` for the post-epoch fragmentation `frag`,

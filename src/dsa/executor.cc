@@ -326,6 +326,23 @@ std::vector<LocalQueryResult> RunSites(
   return results;
 }
 
+namespace {
+
+// First failure among the phase-1 results a plan consumes (OK when all
+// its subqueries read their storage cleanly). Assembly over a failed
+// subquery would compute a confidently wrong answer from partial paths.
+Status PlanResultsStatus(const QueryPlan& plan,
+                         const std::vector<LocalQueryResult>& results) {
+  for (const std::vector<size_t>& hops : plan.chain_specs) {
+    for (size_t idx : hops) {
+      if (!results[idx].status.ok()) return results[idx].status;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Relation AssembleChain(const std::vector<const Relation*>& chain_results,
                        ExecutionReport* report) {
   TCF_CHECK(!chain_results.empty());
@@ -350,6 +367,8 @@ QueryAnswer AssembleCostAnswer(const Fragmentation& frag,
   answer.chains_considered = plan.chains.size();
   if (plan.chains.empty()) return answer;
   answer.fragments_involved = InvolvedFragments(frag, plan, specs);
+  answer.status = PlanResultsStatus(plan, results);
+  if (!answer.status.ok()) return answer;
 
   // Assemble each chain; the overall best is the answer.
   for (size_t c = 0; c < plan.chains.size(); ++c) {
@@ -377,6 +396,8 @@ RouteAnswer AssembleRouteAnswer(const Fragmentation& frag,
   out.answer.chains_considered = plan.chains.size();
   if (plan.chains.empty()) return out;
   out.answer.fragments_involved = InvolvedFragments(frag, plan, specs);
+  out.answer.status = PlanResultsStatus(plan, results);
+  if (!out.answer.status.ok()) return out;
   WallTimer timer;
 
   // Dynamic program over each chain's relay layers, keeping predecessors.
@@ -433,8 +454,21 @@ RouteAnswer AssembleRouteAnswer(const Fragmentation& frag,
     const NodeId v = best_relays[i + 1];
     if (u == v) continue;  // pass-through at a shared border node
     size_t real_edges = 0;
-    Graph augmented = BuildAugmentedFragment(frag, &complementary, chain[i],
-                                             &real_edges);
+    Result<Graph> built = BuildAugmentedFragment(frag, &complementary,
+                                                 chain[i], &real_edges);
+    if (!built.ok()) {
+      // The re-expansion re-reads the shortcut store; a read failure here
+      // fails the route query just like a phase-1 failure would.
+      out.answer = QueryAnswer();
+      out.answer.chains_considered = plan.chains.size();
+      out.answer.status = built.status();
+      out.route.clear();
+      if (report != nullptr) {
+        report->assembly_seconds += timer.ElapsedSeconds();
+      }
+      return out;
+    }
+    const Graph augmented = std::move(built).value();
     ShortestPaths sp = Dijkstra(augmented, u);
     TCF_CHECK_MSG(sp.distance[v] != kInfinity,
                   "relay pair unreachable during reconstruction");

@@ -54,12 +54,16 @@ struct ExecutionReport {
   void Merge(const ExecutionReport& other);
 };
 
-/// Answer to one query.
+/// Answer to one query. `status` is OK for every successful evaluation —
+/// including a clean "not connected" — and non-OK when a phase-1 subquery
+/// could not read its (paged) storage: then connected/cost are
+/// meaningless and the caller must surface the error, not the answer.
 struct QueryAnswer {
   bool connected = false;
   Weight cost = kInfinity;            // shortest-path cost (min-plus)
   size_t chains_considered = 0;
   std::vector<FragmentId> fragments_involved;  // distinct, phase-1 sites
+  Status status = Status::OK();
 };
 
 /// Answer to a route query: the cost plus the realizing node sequence in

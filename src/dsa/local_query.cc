@@ -1,6 +1,7 @@
 #include "dsa/local_query.h"
 
 #include <unordered_map>
+#include <utility>
 
 #include "graph/algorithms.h"
 #include "graph/builder.h"
@@ -9,10 +10,12 @@ namespace tcf {
 
 namespace {
 
-/// Fragment base relation plus the fragment's shortcut relation.
-Relation AugmentedRelation(const Fragmentation& frag,
-                           const ComplementaryInfo* complementary,
-                           FragmentId f) {
+/// Fragment base relation plus the fragment's shortcut relation. Fails
+/// when the (paged) shortcut relation cannot be read — a base relation
+/// missing shortcuts would silently answer queries wrong.
+Result<Relation> AugmentedRelation(const Fragmentation& frag,
+                                   const ComplementaryInfo* complementary,
+                                   FragmentId f) {
   Relation base = Relation::FromEdgeSubset(frag.graph(),
                                            frag.FragmentEdges(f));
   if (complementary != nullptr) {
@@ -20,7 +23,7 @@ Relation AugmentedRelation(const Fragmentation& frag,
     // shortcuts are paged, only this fragment's extent is pinned, and only
     // for the duration of the copy — the keyhole property at the storage
     // layer.
-    base.Append(complementary->ForFragment(f));
+    TCF_RETURN_NOT_OK(base.Append(complementary->ForFragment(f)));
     base.AggregateMin();
   }
   return base;
@@ -28,10 +31,10 @@ Relation AugmentedRelation(const Fragmentation& frag,
 
 }  // namespace
 
-Graph BuildAugmentedFragment(const Fragmentation& frag,
-                             const ComplementaryInfo* complementary,
-                             FragmentId fragment,
-                             size_t* num_real_edges_out) {
+Result<Graph> BuildAugmentedFragment(const Fragmentation& frag,
+                                     const ComplementaryInfo* complementary,
+                                     FragmentId fragment,
+                                     size_t* num_real_edges_out) {
   const Graph& g = frag.graph();
   GraphBuilder builder;
   builder.EnsureNodes(g.NumNodes());
@@ -43,9 +46,10 @@ Graph BuildAugmentedFragment(const Fragmentation& frag,
     *num_real_edges_out = frag.FragmentEdges(fragment).size();
   }
   if (complementary != nullptr) {
-    complementary->ForFragment(fragment).ForEach([&](const PathTuple& t) {
-      builder.AddEdge(t.src, t.dst, t.cost);
-    });
+    TCF_RETURN_NOT_OK(complementary->ForFragment(fragment)
+                          .ForEach([&](const PathTuple& t) {
+                            builder.AddEdge(t.src, t.dst, t.cost);
+                          }));
   }
   return builder.Build();
 }
@@ -56,23 +60,33 @@ LocalQueryResult RunRelational(const Fragmentation& frag,
                                const ComplementaryInfo* complementary,
                                const LocalQuerySpec& spec,
                                TcAlgorithm algorithm) {
-  Relation base = AugmentedRelation(frag, complementary, spec.fragment);
+  LocalQueryResult result;
+  Result<Relation> base = AugmentedRelation(frag, complementary,
+                                            spec.fragment);
+  if (!base.ok()) {
+    result.status = base.status();
+    return result;
+  }
   TcOptions options;
   options.algorithm = algorithm;
   options.semiring = TcSemiring::kMinPlus;
   options.sources = spec.sources;
   options.targets = spec.targets;
-  LocalQueryResult result;
-  result.paths = TransitiveClosure(base, options, &result.stats);
+  result.paths = TransitiveClosure(base.value(), options, &result.stats);
   return result;
 }
 
 LocalQueryResult RunDijkstra(const Fragmentation& frag,
                              const ComplementaryInfo* complementary,
                              const LocalQuerySpec& spec) {
-  Graph augmented = BuildAugmentedFragment(frag, complementary,
-                                           spec.fragment);
   LocalQueryResult result;
+  Result<Graph> built = BuildAugmentedFragment(frag, complementary,
+                                               spec.fragment);
+  if (!built.ok()) {
+    result.status = built.status();
+    return result;
+  }
+  const Graph augmented = std::move(built).value();
   for (NodeId s : spec.sources) {
     ShortestPaths sp = Dijkstra(augmented, s);
     size_t settled = 0;
@@ -111,6 +125,9 @@ LocalQueryResult RunLocalQuery(const Fragmentation& frag,
       result = RunDijkstra(frag, complementary, spec);
       break;
   }
+  // A failed subquery stays failed: no post-processing can repair a
+  // partial path relation.
+  if (!result.status.ok()) return result;
 
   // Zero-cost pass-through tuples for shared source/target nodes. The
   // relational closure only derives paths of length >= 1, and a chain may

@@ -43,6 +43,9 @@ struct LocalQueryResult {
   /// Workload statistics (relational engines; Dijkstra fills iterations
   /// with the number of settled nodes as a comparable work proxy).
   TcStats stats;
+  /// OK unless reading the (paged) shortcut relation failed; on failure
+  /// `paths` is incomplete and the query using this result must fail too.
+  Status status = Status::OK();
 };
 
 /// Runs one local query. If `complementary` is null the fragment is *not*
@@ -58,10 +61,12 @@ LocalQueryResult RunLocalQuery(const Fragmentation& frag,
 /// `*num_real_edges_out` (if non-null) are fragment edges, in
 /// FragmentEdges order; ids at or above it are shortcut edges — route
 /// reconstruction uses this split to know which hops must be expanded via
-/// the complementary witnesses.
-Graph BuildAugmentedFragment(const Fragmentation& frag,
-                             const ComplementaryInfo* complementary,
-                             FragmentId fragment,
-                             size_t* num_real_edges_out = nullptr);
+/// the complementary witnesses. Fails (instead of returning a partial
+/// graph) when the shortcut relation is paged and its pages cannot be
+/// read.
+Result<Graph> BuildAugmentedFragment(const Fragmentation& frag,
+                                     const ComplementaryInfo* complementary,
+                                     FragmentId fragment,
+                                     size_t* num_real_edges_out = nullptr);
 
 }  // namespace tcf

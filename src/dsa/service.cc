@@ -26,11 +26,18 @@ void AccumulateBatchStats(BatchStats* into, const BatchStats& stats) {
   into->wall_seconds += stats.wall_seconds;
 }
 
-std::vector<Weight> CostsOf(const BatchResult& result) {
-  std::vector<Weight> costs;
+std::vector<Result<Weight>> CostsOf(const BatchResult& result) {
+  std::vector<Result<Weight>> costs;
   costs.reserve(result.answers.size());
   for (const RouteAnswer& answer : result.answers) {
-    costs.push_back(answer.answer.cost);
+    if (answer.answer.status.ok()) {
+      costs.push_back(answer.answer.cost);
+    } else {
+      // A query that could not read its (paged) storage fails with its
+      // Status; the flush worker turns it into a failed future for just
+      // that query.
+      costs.push_back(answer.answer.status);
+    }
   }
   return costs;
 }
@@ -42,7 +49,7 @@ uint64_t ServiceBackend::ApplyUpdates(const std::vector<EdgeUpdate>&) {
   return 0;
 }
 
-std::vector<Weight> DatabaseBackend::ExecuteBatch(
+std::vector<Result<Weight>> DatabaseBackend::ExecuteBatch(
     const std::vector<Query>& queries) {
   BatchResult result = executor_.Execute(queries);
   {
@@ -57,7 +64,7 @@ BatchStats DatabaseBackend::cumulative_stats() const {
   return cumulative_;
 }
 
-std::vector<Weight> MaintainedBackend::ExecuteBatch(
+std::vector<Result<Weight>> MaintainedBackend::ExecuteBatch(
     const std::vector<Query>& queries) {
   // Pin the epoch for the whole micro-batch: a concurrent ApplyEpoch
   // publishes a successor, but this batch keeps the snapshot (and its
@@ -86,12 +93,13 @@ uint64_t MaintainedBackend::ApplyUpdates(
   return mdb_->ApplyEpoch(updates).epoch;
 }
 
-std::vector<Weight> SiteNetworkBackend::ExecuteBatch(
+std::vector<Result<Weight>> SiteNetworkBackend::ExecuteBatch(
     const std::vector<Query>& queries) {
   std::vector<std::pair<NodeId, NodeId>> pairs;
   pairs.reserve(queries.size());
   for (const Query& q : queries) pairs.emplace_back(q.from, q.to);
-  return net_->BatchShortestPathCosts(pairs);
+  const std::vector<Weight> costs = net_->BatchShortestPathCosts(pairs);
+  return std::vector<Result<Weight>>(costs.begin(), costs.end());
 }
 
 namespace {
@@ -512,7 +520,7 @@ void QueryService::FlushWorkerLoop(size_t worker) {
     std::vector<Query> batch;
     batch.reserve(admitted.size());
     for (const Pending& p : admitted) batch.push_back(p.query);
-    const std::vector<Weight> costs = backend_->ExecuteBatch(batch);
+    const std::vector<Result<Weight>> costs = backend_->ExecuteBatch(batch);
     TCF_CHECK(costs.size() == admitted.size());
 
     // Record stats BEFORE fulfilling the promises: a client that wakes
@@ -534,7 +542,15 @@ void QueryService::FlushWorkerLoop(size_t worker) {
     }
 
     for (size_t i = 0; i < admitted.size(); ++i) {
-      admitted[i].promise.set_value(costs[i]);
+      if (costs[i].ok()) {
+        admitted[i].promise.set_value(costs[i].value());
+      } else {
+        // One failed query fails its own future; the rest of the batch
+        // (and the daemon) are unaffected. The network edge's WriterLoop
+        // already turns a future exception into an error frame.
+        admitted[i].promise.set_exception(std::make_exception_ptr(
+            std::runtime_error(costs[i].status().ToString())));
+      }
     }
   }
   // The LAST flush-role thread out (worker or update applier) freezes the

@@ -107,9 +107,12 @@ class ServiceBackend {
  public:
   virtual ~ServiceBackend() = default;
 
-  /// Answers `queries` element-wise with shortest-path costs (kInfinity
-  /// when unconnected).
-  virtual std::vector<Weight> ExecuteBatch(
+  /// Answers `queries` element-wise: a cost (kInfinity when unconnected),
+  /// or a Status when that query could not be evaluated (e.g. a paged
+  /// database whose pages failed to read). The service fulfills each
+  /// query's future from its element, so one failed query fails its own
+  /// future — never the batch, never the process.
+  virtual std::vector<Result<Weight>> ExecuteBatch(
       const std::vector<Query>& queries) = 0;
 
   /// True when ApplyUpdates is legal; SubmitUpdate on a service over a
@@ -132,7 +135,8 @@ class DatabaseBackend : public ServiceBackend {
   /// `db` must outlive the backend.
   explicit DatabaseBackend(const DsaDatabase* db) : executor_(db) {}
 
-  std::vector<Weight> ExecuteBatch(const std::vector<Query>& queries) override;
+  std::vector<Result<Weight>> ExecuteBatch(
+      const std::vector<Query>& queries) override;
 
   /// Batch-core accounting summed over all micro-batches this backend ran
   /// (dedup savings, plan-memo skips, cross-batch plan-cache hits, ...).
@@ -157,7 +161,8 @@ class MaintainedBackend : public ServiceBackend {
     TCF_CHECK(mdb != nullptr);
   }
 
-  std::vector<Weight> ExecuteBatch(const std::vector<Query>& queries) override;
+  std::vector<Result<Weight>> ExecuteBatch(
+      const std::vector<Query>& queries) override;
   bool SupportsUpdates() const override { return true; }
   uint64_t ApplyUpdates(const std::vector<EdgeUpdate>& updates) override;
 
@@ -186,7 +191,8 @@ class SiteNetworkBackend : public ServiceBackend {
  public:
   explicit SiteNetworkBackend(SiteNetwork* net) : net_(net) {}
 
-  std::vector<Weight> ExecuteBatch(const std::vector<Query>& queries) override;
+  std::vector<Result<Weight>> ExecuteBatch(
+      const std::vector<Query>& queries) override;
 
  private:
   SiteNetwork* net_;

@@ -23,33 +23,36 @@ Relation Relation::FromEdgeSubset(const Graph& g,
   return r;
 }
 
-void Relation::Materialize() {
-  if (store_ == nullptr) return;
-  // Keep the store alive until the copy finishes, then drop it: the
-  // relation is memory-resident from here on (copy-on-write).
-  std::shared_ptr<const TupleStore> store = std::move(store_);
-  store_.reset();
-  tuples_.clear();
-  tuples_.reserve(store->size());
-  std::unique_ptr<TupleStore::Cursor> cursor = store->NewCursor();
+Status Relation::Materialize() {
+  if (store_ == nullptr) return Status::OK();
+  // Copy into a local vector first and commit only on a clean scan: a
+  // failed read leaves the relation exactly as it was (still paged, still
+  // readable if the fault was transient).
+  std::vector<PathTuple> resident;
+  resident.reserve(store_->size());
+  std::unique_ptr<TupleStore::Cursor> cursor = store_->NewCursor();
   for (std::span<const PathTuple> block = cursor->NextBlock(); !block.empty();
        block = cursor->NextBlock()) {
-    tuples_.insert(tuples_.end(), block.begin(), block.end());
+    resident.insert(resident.end(), block.begin(), block.end());
   }
+  TCF_RETURN_NOT_OK(cursor->status());
+  tuples_ = std::move(resident);
+  store_.reset();
   InvalidateIndexes();
+  return Status::OK();
 }
 
-void Relation::Append(const Relation& other) {
-  Materialize();
+Status Relation::Append(const Relation& other) {
+  TCF_RETURN_NOT_OK(Materialize());
   InvalidateIndexes();
   tuples_.reserve(tuples_.size() + other.size());
   // Streams `other` through its cursor, so appending a paged relation
   // copies tuples out of pinned pages without materializing `other`.
-  other.ForEach([this](const PathTuple& t) { tuples_.push_back(t); });
+  return other.ForEach([this](const PathTuple& t) { tuples_.push_back(t); });
 }
 
 void Relation::AggregateMin() {
-  Materialize();
+  MaterializeOrDie();
   std::unordered_map<uint64_t, Weight> best;
   best.reserve(tuples_.size());
   for (const PathTuple& t : tuples_) {
@@ -67,7 +70,7 @@ void Relation::AggregateMin() {
 }
 
 void Relation::AggregateMax() {
-  Materialize();
+  MaterializeOrDie();
   std::unordered_map<uint64_t, Weight> best;
   best.reserve(tuples_.size());
   for (const PathTuple& t : tuples_) {
@@ -85,7 +88,7 @@ void Relation::AggregateMax() {
 }
 
 void Relation::SortCanonical() {
-  Materialize();
+  MaterializeOrDie();
   InvalidateIndexes();
   std::sort(tuples_.begin(), tuples_.end(),
             [](const PathTuple& a, const PathTuple& b) {
@@ -95,42 +98,60 @@ void Relation::SortCanonical() {
             });
 }
 
-void Relation::EnsureIndex() const {
-  if (lazy_.min_built.load(std::memory_order_acquire)) return;
+Status Relation::EnsureIndex() const {
+  if (lazy_.min_built.load(std::memory_order_acquire)) return Status::OK();
   std::lock_guard<std::mutex> lock(lazy_.build_mutex);
-  if (lazy_.min_built.load(std::memory_order_relaxed)) return;
+  if (lazy_.min_built.load(std::memory_order_relaxed)) return Status::OK();
   lazy_.min_index.clear();
   lazy_.min_index.reserve(size());
-  ForEach([this](const PathTuple& t) {
+  const Status scan = ForEach([this](const PathTuple& t) {
     auto [it, inserted] = lazy_.min_index.emplace(PairKey(t.src, t.dst),
                                                   t.cost);
     if (!inserted && t.cost < it->second) it->second = t.cost;
   });
+  if (!scan.ok()) {
+    // A partial index would answer lookups wrong; stay cold so a later
+    // warm retries after the fault clears.
+    lazy_.min_index.clear();
+    return scan;
+  }
   lazy_.min_built.store(true, std::memory_order_release);
+  return Status::OK();
 }
 
 Weight Relation::BestCost(NodeId src, NodeId dst) const {
-  EnsureIndex();
+  const Status built = EnsureIndex();
+  TCF_CHECK_MSG(built.ok(),
+                "Relation::BestCost: index build failed (WarmIndexes first "
+                "and handle its Status): " + built.ToString());
   auto it = lazy_.min_index.find(PairKey(src, dst));
   return it == lazy_.min_index.end() ? kInfinity : it->second;
 }
 
-void Relation::EnsureMaxIndex() const {
-  if (lazy_.max_built.load(std::memory_order_acquire)) return;
+Status Relation::EnsureMaxIndex() const {
+  if (lazy_.max_built.load(std::memory_order_acquire)) return Status::OK();
   std::lock_guard<std::mutex> lock(lazy_.build_mutex);
-  if (lazy_.max_built.load(std::memory_order_relaxed)) return;
+  if (lazy_.max_built.load(std::memory_order_relaxed)) return Status::OK();
   lazy_.max_index.clear();
   lazy_.max_index.reserve(size());
-  ForEach([this](const PathTuple& t) {
+  const Status scan = ForEach([this](const PathTuple& t) {
     auto [it, inserted] = lazy_.max_index.emplace(PairKey(t.src, t.dst),
                                                   t.cost);
     if (!inserted && t.cost > it->second) it->second = t.cost;
   });
+  if (!scan.ok()) {
+    lazy_.max_index.clear();
+    return scan;
+  }
   lazy_.max_built.store(true, std::memory_order_release);
+  return Status::OK();
 }
 
 Weight Relation::MaxCost(NodeId src, NodeId dst) const {
-  EnsureMaxIndex();
+  const Status built = EnsureMaxIndex();
+  TCF_CHECK_MSG(built.ok(),
+                "Relation::MaxCost: index build failed (WarmIndexes first "
+                "and handle its Status): " + built.ToString());
   auto it = lazy_.max_index.find(PairKey(src, dst));
   return it == lazy_.max_index.end() ? 0.0 : it->second;
 }
@@ -151,6 +172,9 @@ std::string Relation::ToString(size_t max_rows) const {
       }
       os << "\n  (" << t.src << " -> " << t.dst << ", " << t.cost << ")";
     }
+  }
+  if (!cursor.status().ok()) {
+    os << "\n  <scan error: " << cursor.status().ToString() << ">";
   }
   return os.str();
 }

@@ -92,19 +92,25 @@ class Relation {
     return tuples_;
   }
   std::vector<PathTuple>& mutable_tuples() {
-    Materialize();
+    MaterializeOrDie();
     InvalidateIndexes();
     return tuples_;
   }
 
   /// A scan over all tuples, resident or paged. Value type: destroying it
   /// releases whatever the scan holds (for paged relations, the buffer-pool
-  /// pin). Blocks are valid until the next NextBlock() call.
+  /// pin). Blocks are valid until the next NextBlock() call. A paged scan
+  /// that cannot read its pages ends early with a non-OK status() — check
+  /// it after the loop (resident scans cannot fail).
   class Cursor {
    public:
     std::span<const PathTuple> NextBlock() {
       if (impl_ != nullptr) return impl_->NextBlock();
       return std::exchange(resident_, {});
+    }
+
+    Status status() const {
+      return impl_ != nullptr ? impl_->status() : Status::OK();
     }
 
    private:
@@ -125,28 +131,39 @@ class Relation {
 
   /// Visit every tuple: `fn(const PathTuple&)`. The pin-lifetime rule in
   /// one helper — any page pinned for the scan is released on return.
+  /// Returns the scan's final status: always OK for resident relations; a
+  /// paged relation whose pages cannot be read stops the visit early and
+  /// reports why. Callers on a query path must propagate the failure (a
+  /// partial visit must never pass as a complete one).
   template <typename Fn>
-  void ForEach(Fn&& fn) const {
+  Status ForEach(Fn&& fn) const {
     Cursor cursor = Scan();
     for (std::span<const PathTuple> block = cursor.NextBlock();
          !block.empty(); block = cursor.NextBlock()) {
       for (const PathTuple& t : block) fn(t);
     }
+    return cursor.status();
   }
 
   /// Pull the tuples of a paged relation into resident memory and drop the
-  /// store reference. No-op for resident relations.
-  void Materialize();
+  /// store reference. No-op for resident relations. On failure the
+  /// relation is unchanged (still paged, still readable if the fault was
+  /// transient).
+  Status Materialize();
 
   void Add(PathTuple t) {
-    Materialize();
+    MaterializeOrDie();
     InvalidateIndexes();
     tuples_.push_back(t);
   }
   void Add(NodeId src, NodeId dst, Weight cost) {
     Add(PathTuple{src, dst, cost});
   }
-  void Append(const Relation& other);
+  /// Appends `other`'s tuples, streaming a paged `other` through its
+  /// cursor. Returns the stream's status — on failure `*this` holds the
+  /// tuples appended so far and the caller must not treat the result as
+  /// complete.
+  Status Append(const Relation& other);
   void Clear() {
     InvalidateIndexes();
     tuples_.clear();
@@ -168,13 +185,21 @@ class Relation {
   /// threads with no warm-up ritual (the usual contract: reads may not
   /// run concurrently with mutations). Any mutation invalidates the
   /// indexes; the next lookup rebuilds.
+  ///
+  /// Paged relations: the lazy build scans the store, and a lookup has no
+  /// error channel — a build that fails on a storage error is fatal
+  /// (TCF_CHECK). Callers probing a paged relation must WarmIndexes()
+  /// first and handle its Status (RefreshComplementary does; queries only
+  /// ever probe resident relations, which cannot fail).
   Weight BestCost(NodeId src, NodeId dst) const;
-  /// Builds both lookup indexes now. Purely a warm hint — lookups are
-  /// thread-safe without it — that moves the one-time build cost to a
-  /// moment of the caller's choosing; a no-op once the indexes exist.
-  void WarmIndexes() const {
-    EnsureIndex();
-    EnsureMaxIndex();
+  /// Builds both lookup indexes now and reports whether the backing scan
+  /// succeeded (always OK for resident relations). Purely a warm hint for
+  /// resident relations; for paged relations it is the error channel a
+  /// probe needs — warm, check, then look up. A no-op once the indexes
+  /// exist; a failed build leaves them cold, so a later call retries.
+  Status WarmIndexes() const {
+    TCF_RETURN_NOT_OK(EnsureIndex());
+    return EnsureMaxIndex();
   }
   /// Lookup the best (maximum) capacity for (src, dst); 0 if absent.
   Weight MaxCost(NodeId src, NodeId dst) const;
@@ -207,8 +232,20 @@ class Relation {
       lazy_.max_index.clear();
     }
   }
-  void EnsureIndex() const;
-  void EnsureMaxIndex() const;
+  // Mutation prelude: a paged relation must be resident before its tuple
+  // vector can change. Mutators have no error channel, so a store that
+  // cannot be read here is fatal — mutation of paged relations happens on
+  // maintenance paths that warm/materialize with Status-checked calls
+  // first; the query path never mutates.
+  void MaterializeOrDie() {
+    const Status st = Materialize();
+    TCF_CHECK_MSG(st.ok(), "Relation: cannot materialize paged store: " +
+                               st.ToString());
+  }
+  // Build the lazy indexes if cold; returns the backing scan's status and
+  // leaves the index cold (and empty) on failure so a later call retries.
+  Status EnsureIndex() const;
+  Status EnsureMaxIndex() const;
 
   std::vector<PathTuple> tuples_;
   std::shared_ptr<const TupleStore> store_;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace tcf {
 
@@ -40,10 +41,20 @@ class TupleStore {
   /// NextBlock() call or cursor destruction. Any resources the scan holds
   /// (buffer-pool pins, decode buffers) live exactly as long as the
   /// cursor. A cursor must not be shared across threads.
+  ///
+  /// Error channel: a scan that cannot read its backing storage (disk I/O
+  /// error, corrupt page) ends early — NextBlock() returns an empty span —
+  /// and status() reports the failure. Callers that must distinguish a
+  /// clean end-of-scan from a failed one check status() after the loop;
+  /// Relation::ForEach does this and returns the Status, so read failures
+  /// fail the query instead of going unnoticed (or killing the process).
   class Cursor {
    public:
     virtual ~Cursor() = default;
     virtual std::span<const PathTuple> NextBlock() = 0;
+    /// OK while the scan is healthy and after a clean end; the first
+    /// failure is sticky.
+    virtual Status status() const { return Status::OK(); }
   };
 
   virtual ~TupleStore() = default;

@@ -30,8 +30,11 @@ void BufferPool::PageRef::Release() {
   }
 }
 
-BufferPool::BufferPool(PageStore* store, size_t num_frames)
-    : store_(store), page_size_(store->page_size()) {
+BufferPool::BufferPool(PageStore* store, size_t num_frames,
+                       PageVerifier verifier)
+    : store_(store),
+      page_size_(store->page_size()),
+      verifier_(std::move(verifier)) {
   TCF_CHECK(num_frames > 0);
   frames_.resize(num_frames);
   storage_.resize(num_frames * page_size_);
@@ -60,9 +63,16 @@ Result<BufferPool::PageRef> BufferPool::Pin(uint64_t page_index) {
   const size_t frame_idx = victim.value();
   TCF_RETURN_NOT_OK(EvictLocked(frame_idx));
 
-  // The frame is free; fault the page in. On read failure the frame stays
-  // unoccupied and the pool is unchanged.
+  // The frame is free; fault the page in. On read or verification failure
+  // the frame stays unoccupied and the pool is unchanged.
   TCF_RETURN_NOT_OK(store_->ReadPage(page_index, FrameData(frame_idx)));
+  if (verifier_ != nullptr) {
+    // Verify-on-fault-in: a page only ever becomes resident after passing
+    // the verifier, so hits (and every later read of pooled bytes) are
+    // covered without re-checking — the §5.1 contract for caches.
+    TCF_RETURN_NOT_OK(
+        verifier_({FrameData(frame_idx), page_size_}, page_index));
+  }
 
   Frame& frame = frames_[frame_idx];
   frame.page_index = page_index;

@@ -10,7 +10,9 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -46,7 +48,21 @@ struct BufferPoolStats {
 /// `num_frames * page_size` bytes for the life of the pool.
 class BufferPool {
  public:
-  BufferPool(PageStore* store, size_t num_frames);
+  /// Ran on every miss-path fault-in, after the store read and before the
+  /// page becomes resident (and thus before any hit can serve it). A
+  /// non-OK return fails the Pin with that Status and leaves the pool
+  /// unchanged, so a page that ever made it into a frame is known-good —
+  /// readers of pooled bytes need no per-read re-verification. Called
+  /// under the pool mutex; must not call back into the pool.
+  using PageVerifier =
+      std::function<Status(std::span<const uint8_t> page,
+                           uint64_t page_index)>;
+
+  /// A null `verifier` admits pages unverified (callers verify reads
+  /// themselves); database files install a checksum verifier so fault-ins
+  /// uphold the corruption contract (docs/STORAGE.md §5.1).
+  BufferPool(PageStore* store, size_t num_frames,
+             PageVerifier verifier = nullptr);
 
   /// RAII pin on a resident page. While any PageRef to a page is live, its
   /// frame will not be evicted and its bytes will not move. Move-only.
@@ -85,7 +101,8 @@ class BufferPool {
   /// Fails with a descriptive kFailedPrecondition Status (never a crash)
   /// if every frame is pinned — callers observe pool exhaustion and can
   /// shed, retry, or read around the pool — or with the store's error if
-  /// the read fails.
+  /// the read fails, or with the verifier's error if the freshly read
+  /// page does not verify (the pool is unchanged in every failure case).
   Result<PageRef> Pin(uint64_t page_index);
 
   /// Write every dirty frame back to the store and Sync() it.
@@ -123,6 +140,7 @@ class BufferPool {
 
   PageStore* store_;
   size_t page_size_;
+  PageVerifier verifier_;
 
   mutable std::mutex mutex_;
   std::vector<Frame> frames_;

@@ -92,14 +92,17 @@ std::string EncodeAssignmentBlob(const Fragmentation& frag) {
   return w.TakeBuffer();
 }
 
-std::string EncodeShortcutBlob(const Relation& shortcuts) {
+Result<std::string> EncodeShortcutBlob(const Relation& shortcuts) {
   // Complementary precompute runs border-node searches on a pool, so tuple
   // arrival order is scheduling-dependent; sort a copy canonically so the
   // same database always produces the same bytes. The copy streams through
-  // the cursor API, so re-saving a paged-open database works too.
+  // the cursor API, so re-saving a paged-open database works too — and a
+  // paged scan that fails mid-way fails the save (a truncated blob must
+  // never be written).
   std::vector<PathTuple> tuples;
   tuples.reserve(shortcuts.size());
-  shortcuts.ForEach([&](const PathTuple& t) { tuples.push_back(t); });
+  TCF_RETURN_NOT_OK(
+      shortcuts.ForEach([&](const PathTuple& t) { tuples.push_back(t); }));
   std::sort(tuples.begin(), tuples.end(),
             [](const PathTuple& a, const PathTuple& b) {
               if (a.src != b.src) return a.src < b.src;
@@ -230,7 +233,9 @@ Status SaveDatabaseImpl(const DsaDatabase& db, uint64_t epoch,
   for (FragmentId f = 0; f < frag.NumFragments(); ++f) {
     const Relation& shortcuts = db.complementary().shortcuts[f];
     directory[f].tuple_count = shortcuts.size();
-    TCF_RETURN_NOT_OK(AppendBlob(*store, EncodeShortcutBlob(shortcuts),
+    Result<std::string> blob = EncodeShortcutBlob(shortcuts);
+    if (!blob.ok()) return blob.status();
+    TCF_RETURN_NOT_OK(AppendBlob(*store, std::move(blob).value(),
                                  &directory[f].extent));
   }
   TCF_RETURN_NOT_OK(AppendBlob(*store, EncodeDirectoryBlob(directory),
@@ -766,11 +771,23 @@ Result<StoredDatabase> OpenDatabase(const std::string& path,
   std::unique_ptr<PageSource> source;
   std::shared_ptr<PagedFile> paged_file;
   if (options.mode == OpenMode::kPaged) {
-    size_t frames = options.buffer_pool_frames;
+    // A budget, when given, overrides buffer_pool_frames (documented in
+    // OpenOptions). The pool needs at least 2 frames to make progress
+    // (one transient scan pin plus one fault-in); rather than silently
+    // inflating an impossible budget to that floor, reject it so the
+    // caller learns their sizing never took effect.
+    size_t frames = std::max<size_t>(options.buffer_pool_frames, 2);
     if (options.memory_budget_bytes > 0) {
+      if (options.memory_budget_bytes < 2 * page_size) {
+        return Status::InvalidArgument(
+            path + ": memory_budget_bytes " +
+            std::to_string(options.memory_budget_bytes) +
+            " is below the 2-frame minimum (" +
+            std::to_string(2 * page_size) + " bytes at page size " +
+            std::to_string(page_size) + ")");
+      }
       frames = options.memory_budget_bytes / page_size;
     }
-    frames = std::max<size_t>(frames, 2);
     Result<std::shared_ptr<PagedFile>> file =
         PagedFile::Open(path, page_size, frames);
     if (!file.ok()) return file.status();

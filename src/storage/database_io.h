@@ -60,8 +60,11 @@ struct OpenOptions {
   /// Frames for the buffer-pool path (ignored under mmap).
   size_t buffer_pool_frames = 256;
   /// When nonzero and opening paged, size the pool as
-  /// memory_budget_bytes / page_size frames (at least 2) instead of
-  /// `buffer_pool_frames` — the `--memory-budget-mb` knob of tcfragd.
+  /// memory_budget_bytes / page_size frames *instead of*
+  /// `buffer_pool_frames` — the `--memory-budget-mb` knob of tcfragd. A
+  /// nonzero budget below two frames' worth of bytes (the pool's
+  /// progress floor) is rejected with InvalidArgument rather than
+  /// silently rounded up.
   size_t memory_budget_bytes = 0;
   /// Verify every page's checksum up front. Leaving this on is the
   /// corruption-detection contract of docs/STORAGE.md; turning it off

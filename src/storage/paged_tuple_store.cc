@@ -22,7 +22,17 @@ Result<std::shared_ptr<PagedFile>> PagedFile::Open(const std::string& path,
 PagedFile::PagedFile(std::unique_ptr<FilePageStore> store, size_t num_frames,
                      std::string path)
     : store_(std::move(store)), path_(std::move(path)) {
-  pool_ = std::make_unique<BufferPool>(store_.get(), num_frames);
+  // Verify-on-fault-in: with a capped pool, pages are evicted and re-read
+  // from disk throughout the file's lifetime, and every one of those
+  // re-reads must uphold the corruption contract (docs/STORAGE.md §5.1).
+  // Checking here — once per fault, not once per scan — is what lets
+  // cursors consume pooled bytes without re-verifying on every hit.
+  pool_ = std::make_unique<BufferPool>(
+      store_.get(), num_frames,
+      [](std::span<const uint8_t> page, uint64_t page_index) -> Status {
+        Result<PageHeader> header = CheckPage(page, page_index);
+        return header.ok() ? Status::OK() : header.status();
+      });
 }
 
 namespace {
@@ -47,6 +57,11 @@ PathTuple DecodeTuple(const uint8_t* p) {
 /// while its tuples are being decoded — the returned block is a copy, so
 /// the pin is released before NextBlock() returns. A tuple straddling a
 /// page boundary is reassembled through a 16-byte carry buffer.
+///
+/// A page that cannot be read (I/O error, corrupt checksum, payload length
+/// changed since open) ends the scan early with a non-OK status(); only
+/// running past the extent — impossible for any store validated at open —
+/// is treated as a broken invariant.
 class PagedTupleStore::PageCursor final : public TupleStore::Cursor {
  public:
   explicit PageCursor(const PagedTupleStore* store)
@@ -55,6 +70,7 @@ class PagedTupleStore::PageCursor final : public TupleStore::Cursor {
 
   std::span<const PathTuple> NextBlock() override {
     block_.clear();
+    if (!status_.ok()) return {};
     const uint64_t byte_len = store_->extent().byte_len;
     while (block_.empty() && emitted_ < store_->size()) {
       const uint64_t page_offset = page_ordinal_ * capacity_;
@@ -64,6 +80,7 @@ class PagedTupleStore::PageCursor final : public TupleStore::Cursor {
           std::min<uint64_t>(capacity_, byte_len - page_offset));
       const uint8_t* page = AcquirePage(
           store_->extent().first_page + page_ordinal_, payload_len);
+      if (page == nullptr) return {};  // status_ carries the failure
       DecodePayload(page + kPageHeaderSize, payload_len,
                     /*skip=*/page_ordinal_ == 0 ? kBlobHeaderBytes : 0);
       ++page_ordinal_;
@@ -72,12 +89,16 @@ class PagedTupleStore::PageCursor final : public TupleStore::Cursor {
     return block_;
   }
 
+  Status status() const override { return status_; }
+
  private:
   /// Pin the page through the pool; if every frame is pinned, fall back to
   /// a direct read into a local buffer so the scan still completes (the
-  /// pool's capacity bounds cached pages, not correctness). Bypass reads
-  /// come fresh from disk, so they re-verify the page checksum; pooled
-  /// pages were verified when first faulted in by OpenDatabase's sweep.
+  /// pool's capacity bounds cached pages, not correctness). Both paths are
+  /// checksum-verified: the pool verifies every fault-in (PagedFile's
+  /// verifier), and bypass reads come fresh from disk, so they run
+  /// CheckPage themselves. Returns nullptr with status_ set when the page
+  /// cannot be produced.
   const uint8_t* AcquirePage(uint64_t page_index, size_t payload_len) {
     const size_t page_size = store_->file()->page_size();
     const uint8_t* bytes = nullptr;
@@ -85,28 +106,40 @@ class PagedTupleStore::PageCursor final : public TupleStore::Cursor {
     if (ref.ok()) {
       pin_ = std::move(ref).value();
       bytes = pin_.data();
-    } else {
-      TCF_CHECK_MSG(ref.status().code() == StatusCode::kFailedPrecondition,
-                    "paged tuple scan: pin failed: " +
-                        ref.status().ToString());
+    } else if (ref.status().code() == StatusCode::kFailedPrecondition) {
+      // Every frame is pinned — read around the pool.
       bypass_.resize(page_size);
       const Status read = store_->file()->ReadPageBypass(page_index,
                                                          bypass_.data());
-      TCF_CHECK_MSG(read.ok(),
-                    "paged tuple scan: bypass read failed: " +
-                        read.ToString());
+      if (!read.ok()) {
+        status_ = read;
+        return nullptr;
+      }
       Result<PageHeader> header =
           CheckPage({bypass_.data(), page_size}, page_index);
-      TCF_CHECK_MSG(header.ok(), "paged tuple scan: page corrupt: " +
-                                     header.status().ToString());
+      if (!header.ok()) {
+        status_ = header.status();
+        return nullptr;
+      }
       bytes = bypass_.data();
+    } else {
+      // Fault-in failed for real: the store's read error or the pool
+      // verifier's corruption report.
+      status_ = ref.status();
+      return nullptr;
     }
     // The page fill pattern was validated against the directory extent at
     // open; a disagreement here means the file changed under us.
     const uint32_t stored_len = LoadU32(bytes + 16);  // header payload_len
-    TCF_CHECK_MSG(stored_len == payload_len,
-                  "paged tuple scan: page " + std::to_string(page_index) +
-                      " payload length changed since open");
+    if (stored_len != payload_len) {
+      status_ = Status::IOError(
+          "paged tuple scan: page " + std::to_string(page_index) +
+          " payload length changed since open (stored " +
+          std::to_string(stored_len) + ", expected " +
+          std::to_string(payload_len) + ")");
+      pin_ = BufferPool::PageRef();
+      return nullptr;
+    }
     return bytes;
   }
 
@@ -145,6 +178,7 @@ class PagedTupleStore::PageCursor final : public TupleStore::Cursor {
 
   const PagedTupleStore* store_;
   const size_t capacity_;
+  Status status_;
   uint64_t page_ordinal_ = 0;  // page within the extent
   uint64_t emitted_ = 0;
   BufferPool::PageRef pin_;

@@ -393,6 +393,51 @@ TEST_F(BufferPoolTest, MissOnBadPageLeavesPoolUsable) {
   EXPECT_TRUE(pool.Pin(1).ok());
 }
 
+TEST_F(BufferPoolTest, VerifierRunsOnFaultInNotOnHits) {
+  FillStore(4);
+  size_t calls = 0;
+  BufferPool pool(&store_, 2,
+                  [&calls](std::span<const uint8_t>, uint64_t) -> Status {
+                    ++calls;
+                    return Status::OK();
+                  });
+  { auto ref = pool.Pin(0); ASSERT_TRUE(ref.ok()); }
+  EXPECT_EQ(calls, 1u);  // miss: faulted in, verified once
+  { auto ref = pool.Pin(0); ASSERT_TRUE(ref.ok()); }
+  EXPECT_EQ(calls, 1u);  // hit: resident pages are already known-good
+  { auto ref = pool.Pin(1); ASSERT_TRUE(ref.ok()); }
+  { auto ref = pool.Pin(2); ASSERT_TRUE(ref.ok()); }  // evicts one
+  EXPECT_EQ(calls, 3u);
+  // Re-pinning an evicted page is a fresh fault-in → verified again.
+  { auto ref = pool.Pin(0); ASSERT_TRUE(ref.ok()); }
+  EXPECT_EQ(calls, 4u);
+}
+
+TEST_F(BufferPoolTest, VerifierFailureFailsPinAndLeavesPoolUnchanged) {
+  FillStore(3);
+  BufferPool pool(&store_, 2,
+                  [](std::span<const uint8_t>, uint64_t index) -> Status {
+                    if (index == 1) {
+                      return Status::IOError("page 1: checksum mismatch");
+                    }
+                    return Status::OK();
+                  });
+  {
+    auto good = pool.Pin(0);
+    ASSERT_TRUE(good.ok());
+    auto bad = pool.Pin(1);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kIOError);
+    // The rejected page never became resident: pinning it again re-runs
+    // the fault-in (and fails again), and good pages still pin fine.
+    EXPECT_FALSE(pool.Pin(1).ok());
+    auto other = pool.Pin(2);
+    ASSERT_TRUE(other.ok());
+  }
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 0u);
+}
+
 TEST_F(BufferPoolTest, ConcurrentPinHammer) {
   constexpr size_t kPages = 16;
   FillStore(kPages);

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <span>
 #include <string>
@@ -340,7 +341,7 @@ TEST_F(PagedRelationTest, ConcurrentScansThroughTinyPool) {
   // reads. Every thread must still see every tuple of every fragment.
   OpenOptions paged;
   paged.mode = OpenMode::kPaged;
-  paged.memory_budget_bytes = 1;  // -> the 2-frame floor
+  paged.memory_budget_bytes = 2 * kMinPageSize;  // exactly the 2-frame floor
   Result<StoredDatabase> opened = OpenDatabase(path_, paged);
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   ASSERT_EQ(opened.value().paged_file->pool().num_frames(), 2u);
@@ -379,6 +380,106 @@ TEST_F(PagedRelationTest, ConcurrentScansThroughTinyPool) {
   }
   for (std::thread& w : workers) w.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(PagedRelationTest, BelowFloorMemoryBudgetIsRejected) {
+  const auto t = MakeTransport(5, 3, 6);
+  const Fragmentation frag = MakeFragmentation(t.graph, Fragmenter::kLinear,
+                                               2);
+  const DsaDatabase fresh(&frag);
+  SaveOptions save;
+  save.page_size = kMinPageSize;
+  ASSERT_TRUE(SaveDatabase(fresh, path_, save).ok());
+
+  // A nonzero budget below the two-frame progress floor is a contradiction
+  // the caller must resolve, not a value to silently round up.
+  OpenOptions paged;
+  paged.mode = OpenMode::kPaged;
+  paged.memory_budget_bytes = 2 * kMinPageSize - 1;
+  Result<StoredDatabase> opened = OpenDatabase(path_, paged);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(opened.status().ToString().find("memory_budget_bytes"),
+            std::string::npos)
+      << opened.status().ToString();
+
+  // Zero budget means "unset": buffer_pool_frames governs and the open
+  // succeeds.
+  paged.memory_budget_bytes = 0;
+  EXPECT_TRUE(OpenDatabase(path_, paged).ok());
+}
+
+TEST_F(PagedRelationTest, CorruptPageFailsQueryNotProcess) {
+  const auto t = MakeTransport(23, 4, 12);
+  const Fragmentation frag = MakeFragmentation(t.graph, Fragmenter::kCenter,
+                                               5);
+  const DsaDatabase fresh(&frag);
+  SaveOptions save;
+  save.page_size = kMinPageSize;
+  ASSERT_TRUE(SaveDatabase(fresh, path_, save).ok());
+
+  OpenOptions paged;
+  paged.mode = OpenMode::kPaged;
+  paged.buffer_pool_frames = 2;
+  Result<StoredDatabase> opened = OpenDatabase(path_, paged);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const ComplementaryInfo& comp = opened.value().db->complementary();
+
+  // Corrupt the first byte (header magic) of every page but the header
+  // page AFTER a clean open: the graph and fragmentation decoded at open
+  // stay valid, but any page a paged relation now faults back in fails
+  // verification.
+  {
+    std::fstream file(path_,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(0, std::ios::end);
+    const auto file_size = static_cast<uint64_t>(file.tellg());
+    for (uint64_t off = kMinPageSize; off + kMinPageSize <= file_size;
+         off += kMinPageSize) {
+      file.seekg(static_cast<std::streamoff>(off));
+      char byte = 0;
+      file.read(&byte, 1);
+      byte = static_cast<char>(byte ^ 0xFF);
+      file.seekp(static_cast<std::streamoff>(off));
+      file.write(&byte, 1);
+    }
+    file.flush();
+    ASSERT_TRUE(file.good());
+  }
+
+  // A relation spanning more pages than the two-frame pool cannot be
+  // served from residual frames, so its scan MUST surface the corruption
+  // through the cursor's Status channel — not a crash.
+  size_t big = comp.shortcuts.size();
+  for (size_t f = 0; f < comp.shortcuts.size(); ++f) {
+    if (comp.shortcuts[f].is_paged() &&
+        8 + 16 * comp.shortcuts[f].size() > 2 * kMinPageSize) {
+      big = f;
+      break;
+    }
+  }
+  ASSERT_LT(big, comp.shortcuts.size())
+      << "transport too small: no shortcut relation spans >2 pages";
+  const Status scan = comp.shortcuts[big].ForEach([](const PathTuple&) {});
+  EXPECT_FALSE(scan.ok());
+  EXPECT_NE(scan.ToString().find("page"), std::string::npos)
+      << scan.ToString();
+
+  // Queries against corrupt storage fail with a Status on the answer.
+  // They never crash the process and never report a made-up cost.
+  int failed = 0;
+  Rng rng(9);
+  for (int i = 0; i < 24; ++i) {
+    const auto s = static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes()));
+    const auto u = static_cast<NodeId>(rng.NextBounded(t.graph.NumNodes()));
+    const auto answer = opened.value().db->ShortestPath(s, u);
+    if (!answer.status.ok()) {
+      ++failed;
+      EXPECT_FALSE(answer.connected) << s << "->" << u;
+    }
+  }
+  EXPECT_GT(failed, 0) << "no query surfaced the corrupted storage";
 }
 
 TEST_F(PagedRelationTest, ConcurrentColdLookupsBuildIndexOnce) {

@@ -173,14 +173,15 @@ TEST(QueryService, FlushesOnTimeWindow) {
 /// test-only implementation.
 class GatedBackend : public ServiceBackend {
  public:
-  std::vector<Weight> ExecuteBatch(const std::vector<Query>& queries) override {
+  std::vector<Result<Weight>> ExecuteBatch(
+      const std::vector<Query>& queries) override {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       executing_ = true;
       cv_.notify_all();
       cv_.wait(lock, [this]() { return released_; });
     }
-    std::vector<Weight> costs;
+    std::vector<Result<Weight>> costs;
     for (const Query& q : queries) {
       costs.push_back(static_cast<Weight>(q.from) + static_cast<Weight>(q.to));
     }
